@@ -1,0 +1,120 @@
+"""Design-choice ablations beyond the paper's figures.
+
+DESIGN.md calls out four FlexMoE design choices whose value the paper
+asserts but does not isolate; these ablations isolate them on a common
+workload:
+
+* vExpert granularity — slots per GPU (1 disables replication headroom);
+* the background Migrate pass on/off;
+* best-effort (deferred-commit) adjustment vs synchronous blocking;
+* the gate flow-controller on/off under a bursty workload.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.baselines import FlexMoESystem
+from repro.bench.harness import SMOKE, cluster_for
+from repro.bench.reporting import format_table
+from repro.config import SchedulerConfig
+from repro.core.flow_control import GateFlowController
+from repro.model.zoo import get_model_config
+from repro.training.loop import compare_systems
+
+MODEL = "GPT-MoE-S"
+GPUS = 32
+
+
+def run_config(config: SchedulerConfig, flow=None, seed=3):
+    model = get_model_config(MODEL)
+    cmp = compare_systems(
+        model,
+        cluster_for(GPUS),
+        SMOKE.workload(seed=seed),
+        systems=[
+            lambda ctx, c=config, f=flow: FlexMoESystem(
+                ctx, c, flow_control=f
+            )
+        ],
+        warmup=SMOKE.warmup,
+        seed=seed,
+    )
+    return cmp["FlexMoE"]
+
+
+def test_ablation_vexpert_slots(benchmark, report):
+    def run():
+        rows = []
+        times = {}
+        for slots in (1, 2, 4, 8):
+            run_result = run_config(SchedulerConfig(slots_per_gpu=slots))
+            times[slots] = run_result.mean_step_time
+            rows.append(
+                [slots, f"{run_result.mean_step_time * 1e3:.2f}",
+                 f"{run_result.summary()['mean_balance']:.2f}"]
+            )
+        return format_table(
+            ["slots/GPU", "step(ms)", "balance"],
+            rows,
+            title="Ablation: vExpert slots per GPU (1 = no replication headroom)",
+        ), times
+
+    table, times = run_once(benchmark, run)
+    report("ablation_vexpert_slots", table)
+    # Replication headroom must pay off vs the 1-slot degenerate case.
+    assert min(times[2], times[4]) < times[1]
+
+
+def test_ablation_migrate_and_best_effort(benchmark, report):
+    def run():
+        configs = {
+            "full FlexMoE": SchedulerConfig(),
+            "no migrate": SchedulerConfig(migrate=False),
+            "synchronous adjust": SchedulerConfig(best_effort=False),
+        }
+        rows = []
+        times = {}
+        for label, config in configs.items():
+            run_result = run_config(config)
+            times[label] = run_result.mean_step_time
+            rows.append([label, f"{run_result.mean_step_time * 1e3:.2f}"])
+        return format_table(
+            ["variant", "step(ms)"],
+            rows,
+            title="Ablation: Migrate pass and best-effort adjustment",
+        ), times
+
+    table, times = run_once(benchmark, run)
+    report("ablation_migrate_best_effort", table)
+    assert times["full FlexMoE"] <= times["synchronous adjust"] * 1.05
+
+
+def test_ablation_flow_control(benchmark, report):
+    def run():
+        rows = []
+        times = {}
+        for label, flow in (
+            ("no flow control", None),
+            ("flow control 2.0x", GateFlowController(watermark_factor=2.0)),
+        ):
+            # Bursty workload: strong drift provokes transient spikes.
+            run_result = run_config(
+                SchedulerConfig(), flow=flow, seed=13
+            )
+            times[label] = run_result.mean_step_time
+            rows.append(
+                [
+                    label,
+                    f"{run_result.mean_step_time * 1e3:.2f}",
+                    f"{run_result.mean_token_efficiency:.3f}",
+                ]
+            )
+        return format_table(
+            ["variant", "step(ms)", "tok-eff (per-step)"],
+            rows,
+            title="Ablation: gate flow-control under bursty routing",
+        ), times
+
+    table, times = run_once(benchmark, run)
+    report("ablation_flow_control", table)
+    assert times["flow control 2.0x"] <= times["no flow control"] * 1.10

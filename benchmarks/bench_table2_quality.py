@@ -1,0 +1,90 @@
+"""Table 2: model quality — FlexMoE (no drops) vs DeepSpeed (capacity 1.0).
+
+The paper compares validation perplexity (BERT/GPT-MoE) and ImageNet
+accuracy (Swin-MoE) between DeepSpeed (capacity factor 1.0 — tokens over
+capacity dropped) and FlexMoE (all tokens processed), at identical
+hyper-parameters: FlexMoE wins nearly every cell (e.g. BERT-MoE-S PPL 3.14
+vs 3.53; Swin-MoE-S top-1 77.75 vs 77.32).
+
+We train the NumPy stand-ins under exactly those two token policies and
+report the same table. Deltas are small, as in the paper — averaging over
+seeds keeps the ordering stable.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.training.quality import train_classifier, train_language_model
+from repro.workload.datasets import ClusterClassificationDataset, MarkovLMDataset
+
+SEEDS = (0, 1, 2)
+
+
+def run_table2():
+    lm_dataset = MarkovLMDataset(vocab_size=32, num_states=8, seed=0)
+    cls_dataset = ClusterClassificationDataset(
+        num_classes=8, num_clusters=8, input_dim=32, noise=0.15, seed=0
+    )
+
+    def lm_ppl(capacity):
+        values = [
+            train_language_model(
+                lm_dataset, capacity_factor=capacity, balance_coef=0.001,
+                num_experts=8, steps=200, batch_size=24, seq_len=24,
+                d_model=32, num_layers=4, eval_every=100, seed=seed,
+            ).final_metric
+            for seed in SEEDS
+        ]
+        return float(np.mean(values))
+
+    def cls_acc(capacity, metric):
+        values = [
+            train_classifier(
+                cls_dataset, capacity_factor=capacity, balance_coef=0.001,
+                num_experts=8, steps=250, batch_size=128, d_model=32,
+                num_layers=2, eval_every=125, metric=metric, seed=seed,
+            ).final_metric
+            for seed in SEEDS
+        ]
+        return float(100 * np.mean(values))
+
+    results = {
+        "DeepSpeed": {
+            "LM PPL": lm_ppl(1.0),
+            "acc@1": cls_acc(1.0, "top1"),
+            "acc@5": cls_acc(1.0, "top5"),
+        },
+        "FlexMoE": {
+            "LM PPL": lm_ppl(None),
+            "acc@1": cls_acc(None, "top1"),
+            "acc@5": cls_acc(None, "top5"),
+        },
+    }
+    rows = [
+        [
+            system,
+            f"{values['LM PPL']:.3f}",
+            f"{values['acc@1']:.2f}%",
+            f"{values['acc@5']:.2f}%",
+        ]
+        for system, values in results.items()
+    ]
+    table = format_table(
+        ["system", "LM PPL (lower=better)", "acc@1", "acc@5"],
+        rows,
+        title=(
+            "Table 2: model quality, capacity-1.0 dropping vs no dropping\n"
+            "(paper: FlexMoE wins nearly all cells; deltas are small)"
+        ),
+    )
+    return table, results
+
+
+def test_table2_model_quality(benchmark, report):
+    table, results = run_once(benchmark, run_table2)
+    report("table2_quality", table)
+    # Reproduction target (shape): processing every token is at least as
+    # good as dropping, on the seed-averaged metrics.
+    assert results["FlexMoE"]["LM PPL"] <= results["DeepSpeed"]["LM PPL"] * 1.02
+    assert results["FlexMoE"]["acc@1"] >= results["DeepSpeed"]["acc@1"] - 1.0

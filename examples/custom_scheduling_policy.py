@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Extend FlexMoE with a custom scheduling policy.
+
+The Policy Maker is a pluggable component: anything that maps
+``(assignment, placement) -> PolicyDecision`` can drive the Scheduler.
+This example implements a *water-filling* policy that, instead of one
+greedy (Expand, Shrink) pair per round, allocates all vExpert slots
+proportionally to the observed loads in one shot — and compares it against
+the paper's Algorithm 2 on the same workload.
+
+Run:
+    python examples/custom_scheduling_policy.py
+"""
+
+import numpy as np
+
+from repro.baselines import FlexMoESystem, build_context
+from repro.bench.harness import cluster_for
+from repro.config import SchedulerConfig, WorkloadConfig
+from repro.core.policy import PolicyDecision, PolicyMaker
+from repro.core.primitives import Expand, Shrink
+from repro.model.zoo import get_model_config
+from repro.training.loop import simulate_training
+from repro.workload.synthetic import DriftingRoutingGenerator
+
+
+class WaterFillingPolicy(PolicyMaker):
+    """Allocate vExperts proportionally to expert loads in one pass.
+
+    Emits at most one (Shrink, Expand) pair per call — like Algorithm 2 —
+    but chooses the pair by comparing each expert's current allocation to
+    its load-proportional target, rather than by per-vExpert capacity.
+    """
+
+    def make_plan(self, assignment, placement) -> PolicyDecision:
+        assignment = np.asarray(assignment)
+        t0 = self.estimate_step_time(assignment, placement)
+        loads = assignment.sum(axis=1).astype(float)
+        if loads.sum() == 0:
+            return PolicyDecision((), t0, t0, 0.0)
+        targets = np.maximum(
+            loads / loads.sum() * placement.total_slots, 1.0
+        )
+        current = placement.replica_counts().astype(float)
+        deficit = targets - current
+        e0 = int(np.argmax(deficit))   # most under-allocated
+        e1 = int(np.argmin(deficit))   # most over-allocated
+        if deficit[e0] < 1.0 or e0 == e1 or placement.replicas(e1) <= 1:
+            return PolicyDecision((), t0, t0, 0.0)
+        gpu = placement.gpus_of(e1)[0]
+        shrink = Shrink(expert=e1, gpu=gpu)
+        trial = placement.copy()
+        shrink.apply(trial)
+        source = self._expand_source(trial, e0, gpu)
+        expand = Expand(expert=e0, gpu=gpu, source_gpu=source)
+        expand.apply(trial)
+        routes = self._router.route_fractional(assignment, trial)
+        t1 = self._cost_model.step_time(routes, trial)
+        if t1 >= t0:
+            return PolicyDecision((), t0, t0, 0.0)
+        adjustment = self._cost_model.adjustment_cost([shrink, expand])
+        return PolicyDecision((shrink, expand), t0, t1, adjustment)
+
+
+class WaterFillingFlexMoE(FlexMoESystem):
+    """FlexMoE with the water-filling policy swapped in."""
+
+    name = "FlexMoE-WF"
+
+    def _build(self) -> None:
+        super()._build()
+        policy = WaterFillingPolicy(self._cost_model)
+        # Rebuild the scheduler around the custom policy.
+        from repro.core.scheduler import Scheduler
+
+        self._scheduler = Scheduler(
+            self._target, policy, self._scheduler_config, self._ctx.topology
+        )
+
+
+def main() -> None:
+    model = get_model_config("GPT-MoE-S")
+    context = build_context(cluster_for(32), model, seed=0)
+    workload = WorkloadConfig(num_steps=40, seed=5)
+    trace = DriftingRoutingGenerator(
+        model.num_experts, context.topology.num_gpus, workload
+    ).generate()
+
+    print("Comparing Algorithm 2 against a custom water-filling policy\n")
+    for factory in (FlexMoESystem, WaterFillingFlexMoE):
+        system = factory(context, SchedulerConfig())
+        run = simulate_training(system, trace, warmup=10)
+        summary = run.summary()
+        print(
+            f"{system.name:<12} step={summary['mean_step_time']*1e3:6.2f}ms  "
+            f"balance={summary['mean_balance']:.2f}  "
+            f"actions={int(summary['scheduling_actions'])}"
+        )
+    print(
+        "\nAlgorithm 2's cost-model search typically wins: it weighs the "
+        "communication\ncosts (All-to-All concentration, replica sync) "
+        "that a purely load-proportional\nheuristic ignores. The point of "
+        "this example is the mechanism — any object\nimplementing "
+        "make_plan() can drive the Scheduler."
+    )
+
+
+if __name__ == "__main__":
+    main()

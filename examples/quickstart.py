@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: compare FlexMoE against DeepSpeed-style expert parallelism
+and FasterMoE shadowing on a small simulated cluster.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import quick_simulation
+from repro.training.convergence import ConvergenceModel
+
+
+def main() -> None:
+    print("Simulating 16-expert MoE training on 8 GPUs (50 steps)...\n")
+    result = quick_simulation(num_gpus=8, num_experts=16, num_steps=50)
+
+    print(result.summary())
+    print()
+
+    convergence = ConvergenceModel()
+    baseline_ttq = result["DeepSpeed"].time_to_quality(10_000, convergence)
+    print("Time-to-quality, normalized to DeepSpeed (higher is better):")
+    for name in result.systems:
+        ttq = result[name].time_to_quality(10_000, convergence)
+        print(f"  {name:<12} {baseline_ttq / ttq:.2f}x")
+
+    flex = result["FlexMoE"]
+    print(
+        f"\nFlexMoE processed 100% of tokens "
+        f"(token efficiency {flex.mean_token_efficiency:.3f}) while applying "
+        f"{int(flex.summary()['scheduling_actions'])} placement actions."
+    )
+
+
+if __name__ == "__main__":
+    main()

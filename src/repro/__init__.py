@@ -1,0 +1,91 @@
+"""FlexMoE reproduction: dynamic device placement for sparse MoE training.
+
+This library reproduces *FlexMoE: Scaling Large-scale Sparse Pre-trained
+Model Training via Dynamic Device Placement* (Nie et al., SIGMOD 2023) as a
+self-contained Python system:
+
+* :mod:`repro.core` — the paper's contribution: the vExpert abstraction,
+  Expand/Shrink/Migrate primitives, cost models, flexible token routing,
+  Policy Maker and Scheduler;
+* :mod:`repro.cluster` — a simulated multi-GPU cluster substrate (devices,
+  topology, collectives, profiler, communicator groups);
+* :mod:`repro.workload` — routing traces with calibrated skew/drift and
+  synthetic datasets;
+* :mod:`repro.model` — a NumPy transformer/MoE stack with real training for
+  the quality experiments;
+* :mod:`repro.baselines` — DeepSpeed-style expert parallelism, FasterMoE
+  shadowing, SWIPE and FlexMoE as pluggable systems;
+* :mod:`repro.runtime` — the discrete-event execution engine and the
+  adjustment queue;
+* :mod:`repro.training` — end-to-end simulated training loops, efficiency
+  metrics and the convergence model;
+* :mod:`repro.bench` — the experiment harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_simulation
+    result = quick_simulation(num_gpus=8, num_experts=16, num_steps=50)
+    print(result.summary())
+"""
+
+from repro.config import (
+    ClusterConfig,
+    DeviceSpec,
+    MoEModelConfig,
+    SchedulerConfig,
+    WorkloadConfig,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    ModelError,
+    PlacementError,
+    ProfilingError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ConfigurationError",
+    "DeviceSpec",
+    "MoEModelConfig",
+    "ModelError",
+    "PlacementError",
+    "ProfilingError",
+    "ReproError",
+    "RoutingError",
+    "SchedulerConfig",
+    "SchedulingError",
+    "SimulationError",
+    "TopologyError",
+    "WorkloadConfig",
+    "__version__",
+    "quick_simulation",
+]
+
+
+def quick_simulation(
+    num_gpus: int = 8,
+    num_experts: int = 16,
+    num_steps: int = 50,
+    seed: int = 0,
+):
+    """Run a small FlexMoE-vs-baselines simulation and return the results.
+
+    A convenience entry point for the quickstart example; see
+    :func:`repro.training.loop.compare_systems` for the full API.
+    """
+    from repro.bench.harness import quick_comparison
+
+    return quick_comparison(
+        num_gpus=num_gpus,
+        num_experts=num_experts,
+        num_steps=num_steps,
+        seed=seed,
+    )

@@ -1,0 +1,34 @@
+"""MoE training systems: FlexMoE and the baselines it is evaluated against.
+
+Every system implements the :class:`~repro.baselines.base.MoESystem`
+interface — consume one step's gate assignment, decide placement/token
+handling, execute, and report efficiency — so the training loop and the
+benchmarks can swap them freely.
+
+* :class:`ExpertParallelSystem` — DeepSpeed-style static expert parallelism
+  with capacity-based token dropping (GShard lineage).
+* :class:`FasterMoESystem` — dynamic *shadowing*: the hottest experts are
+  replicated onto **all** GPUs each step (coarse-grained: one GPU or every
+  GPU), with broadcast + full-group sync overheads and no token dropping.
+* :class:`SwipeSystem` — BaGuaLu's SWIPE: the gate's decisions are rewritten
+  to enforce strict balance, trading token fidelity for perfect load spread.
+* :class:`FlexMoESystem` — the paper's system: fine-grained replicated
+  expert parallelism driven by the Scheduler/Policy Maker.
+"""
+
+from repro.baselines.base import MoESystem, StepResult, SystemContext, build_context
+from repro.baselines.expert_parallel import ExpertParallelSystem
+from repro.baselines.fastermoe import FasterMoESystem
+from repro.baselines.flexmoe import FlexMoESystem
+from repro.baselines.swipe import SwipeSystem
+
+__all__ = [
+    "ExpertParallelSystem",
+    "FasterMoESystem",
+    "FlexMoESystem",
+    "MoESystem",
+    "StepResult",
+    "SwipeSystem",
+    "SystemContext",
+    "build_context",
+]

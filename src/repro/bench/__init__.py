@@ -1,0 +1,23 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+Every benchmark under ``benchmarks/`` maps to one table or figure of the
+evaluation section; :mod:`repro.bench.harness` holds the shared experiment
+drivers and :mod:`repro.bench.reporting` renders paper-style rows/series.
+"""
+
+from repro.bench.harness import (
+    ExperimentScale,
+    figure5_comparison,
+    quick_comparison,
+    scalability_sweep,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "ExperimentScale",
+    "figure5_comparison",
+    "format_series",
+    "format_table",
+    "quick_comparison",
+    "scalability_sweep",
+]

@@ -1,0 +1,170 @@
+"""Shared experiment drivers for the benchmark suite.
+
+The paper's experiments run for days on 64 A100s; the harness downscales
+the *durations* (trace lengths, training steps) while keeping the structure
+(models, cluster shapes, system line-ups) intact. ``ExperimentScale``
+presets let the same benchmark run as a quick smoke test or a fuller
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    ExpertParallelSystem,
+    FasterMoESystem,
+    FlexMoESystem,
+    SwipeSystem,
+)
+from repro.config import ClusterConfig, MoEModelConfig, WorkloadConfig
+from repro.exceptions import ConfigurationError
+from repro.model.zoo import get_model_config
+from repro.training.loop import ComparisonResult, compare_systems
+
+#: Target quality reached after this many steps by an ideal system; the
+#: Figure 5 time-to-quality metric multiplies it by each system's
+#: statistical-efficiency factor.
+BASE_ITERATIONS = 10_000
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Downscaling knobs shared by the benchmarks.
+
+    Attributes:
+        num_steps: Trace length per experiment.
+        warmup: Cold-start steps excluded from aggregates.
+        tokens_per_step: Global token-assignments per step.
+        quality_steps: Real-training steps for quality experiments.
+        seeds: Independent repetitions for quality experiments.
+    """
+
+    num_steps: int = 40
+    warmup: int = 10
+    tokens_per_step: int = 2_097_152
+    quality_steps: int = 250
+    seeds: int = 2
+
+    def workload(self, seed: int = 0, **overrides: object) -> WorkloadConfig:
+        base = WorkloadConfig(
+            tokens_per_step=self.tokens_per_step,
+            num_steps=self.num_steps,
+            seed=seed,
+        )
+        return base.replace(**overrides) if overrides else base
+
+
+#: Preset used by the pytest benchmarks (keeps the whole suite in minutes).
+SMOKE = ExperimentScale(
+    num_steps=25, warmup=8, quality_steps=150, seeds=1
+)
+
+#: Preset for a fuller run (EXPERIMENTS.md numbers).
+FULL = ExperimentScale(
+    num_steps=80, warmup=15, quality_steps=400, seeds=3
+)
+
+
+def cluster_for(num_gpus: int) -> ClusterConfig:
+    """Paper-shaped cluster: 8 GPUs per node."""
+    if num_gpus % 8 == 0:
+        return ClusterConfig(num_nodes=num_gpus // 8, gpus_per_node=8)
+    if num_gpus < 8:
+        return ClusterConfig(num_nodes=1, gpus_per_node=num_gpus)
+    raise ConfigurationError(
+        f"num_gpus must be < 8 or a multiple of 8, got {num_gpus}"
+    )
+
+
+#: The Figure 5 line-up.
+FIGURE5_SYSTEMS = (ExpertParallelSystem, FasterMoESystem, FlexMoESystem)
+
+#: The Figure 7a line-up (adds SWIPE).
+FIGURE7_SYSTEMS = (
+    ExpertParallelSystem,
+    SwipeSystem,
+    FasterMoESystem,
+    FlexMoESystem,
+)
+
+
+def figure5_comparison(
+    model_name: str,
+    num_gpus: int,
+    scale: ExperimentScale = SMOKE,
+    seed: int = 0,
+) -> ComparisonResult:
+    """One Figure 5 bar group: DeepSpeed vs FasterMoE vs FlexMoE."""
+    model = get_model_config(model_name)
+    return compare_systems(
+        model=model,
+        cluster=cluster_for(num_gpus),
+        workload=scale.workload(seed=seed),
+        systems=FIGURE5_SYSTEMS,
+        warmup=scale.warmup,
+        seed=seed,
+    )
+
+
+def scalability_sweep(
+    gpu_counts: tuple[int, ...] = (8, 16, 32, 64),
+    num_experts: int = 64,
+    scale: ExperimentScale = SMOKE,
+    tokens_per_gpu: int = 32_768,
+    seed: int = 0,
+) -> dict[int, ComparisonResult]:
+    """Figure 7b: single MoE layer with 64 experts across cluster sizes.
+
+    Weak scaling, as in the paper: each GPU contributes a constant token
+    batch, so the global workload grows with the cluster.
+    """
+    model = MoEModelConfig(
+        name=f"MoE-layer-{num_experts}e",
+        num_layers=2,  # a single MoE layer (layers 0-1, MoE on layer 1)
+        d_model=2048,
+        d_ffn=8192,
+        num_experts=num_experts,
+    )
+    results: dict[int, ComparisonResult] = {}
+    for num_gpus in gpu_counts:
+        workload = scale.workload(
+            seed=seed, tokens_per_step=tokens_per_gpu * num_gpus
+        )
+        results[num_gpus] = compare_systems(
+            model=model,
+            cluster=cluster_for(num_gpus),
+            workload=workload,
+            systems=FIGURE5_SYSTEMS,
+            moe_layers=1,
+            warmup=scale.warmup,
+            seed=seed,
+        )
+    return results
+
+
+def quick_comparison(
+    num_gpus: int = 8,
+    num_experts: int = 16,
+    num_steps: int = 50,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Small three-system comparison for the quickstart."""
+    model = MoEModelConfig(
+        name="quickstart",
+        num_layers=4,
+        d_model=1024,
+        d_ffn=4096,
+        num_experts=num_experts,
+    )
+    workload = WorkloadConfig(
+        tokens_per_step=num_gpus * 32_768, num_steps=num_steps, seed=seed
+    )
+    return compare_systems(
+        model=model,
+        cluster=cluster_for(num_gpus),
+        workload=workload,
+        systems=FIGURE5_SYSTEMS,
+        warmup=min(5, num_steps // 5),
+        seed=seed,
+    )

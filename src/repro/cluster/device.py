@@ -1,0 +1,40 @@
+"""Device model: one simulated GPU within the cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DeviceSpec, MoEModelConfig
+
+
+@dataclass(frozen=True)
+class Device:
+    """A single accelerator identified by its global index.
+
+    Attributes:
+        index: Global GPU rank within the cluster (0-based).
+        node: Index of the host node.
+        local_rank: Rank within the host node.
+        spec: Hardware capabilities.
+    """
+
+    index: int
+    node: int
+    local_rank: int
+    spec: DeviceSpec
+
+    def tokens_per_second(self, model: MoEModelConfig) -> float:
+        """Ground-truth expert throughput of this device for ``model``."""
+        return self.spec.tokens_per_second(model)
+
+    def expert_memory_capacity(self, model: MoEModelConfig) -> int:
+        """How many experts' model states fit in device memory.
+
+        Used as a sanity bound when configuring vExpert slots; the simulated
+        experiments never exceed it, matching the paper's implicit assumption
+        that every GPU can hold a handful of expert replicas.
+        """
+        return max(1, self.spec.memory_bytes // max(1, model.expert_state_bytes))
+
+    def __str__(self) -> str:
+        return f"gpu{self.index}(node{self.node}.{self.local_rank})"

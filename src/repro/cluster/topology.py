@@ -1,0 +1,150 @@
+"""Cluster topology: devices, nodes and the pairwise network fabric.
+
+The topology exposes the two environmental quantities the paper's cost
+models consume directly: the bandwidth matrix ``Bw(g, g')`` (Eq. 8) and the
+locality structure (intra-node NVLink vs inter-node InfiniBand) that makes
+the All-to-All model "topology-aware".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.cluster.device import Device
+from repro.config import ClusterConfig
+from repro.exceptions import TopologyError
+
+
+class ClusterTopology:
+    """Immutable description of the simulated cluster.
+
+    Args:
+        config: Cluster shape and fabric parameters.
+
+    The loop-back "bandwidth" (a GPU sending to itself) is modelled as an
+    effectively infinite device-local copy so that purely local traffic costs
+    ~nothing, matching real systems where local tokens never cross a link.
+    """
+
+    #: Effective bandwidth for device-local (g == g') transfers, bytes/s.
+    LOCAL_COPY_BANDWIDTH = 1.5e12
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self._config = config
+        self._devices: list[Device] = [
+            Device(
+                index=node * config.gpus_per_node + local,
+                node=node,
+                local_rank=local,
+                spec=config.device,
+            )
+            for node in range(config.num_nodes)
+            for local in range(config.gpus_per_node)
+        ]
+        self._bandwidth = self._build_bandwidth_matrix()
+        self._latency = self._build_latency_matrix()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_bandwidth_matrix(self) -> np.ndarray:
+        cfg = self._config
+        n = cfg.num_gpus
+        nodes = np.array([d.node for d in self._devices])
+        same_node = nodes[:, None] == nodes[None, :]
+        bw = np.where(same_node, cfg.intra_node_bandwidth, cfg.inter_node_bandwidth)
+        np.fill_diagonal(bw, self.LOCAL_COPY_BANDWIDTH)
+        return bw.astype(float).reshape(n, n)
+
+    def _build_latency_matrix(self) -> np.ndarray:
+        cfg = self._config
+        nodes = np.array([d.node for d in self._devices])
+        same_node = nodes[:, None] == nodes[None, :]
+        lat = np.where(same_node, cfg.intra_node_latency, cfg.inter_node_latency)
+        np.fill_diagonal(lat, 0.0)
+        return lat.astype(float)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ClusterConfig:
+        return self._config
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self._devices)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._config.num_nodes
+
+    @property
+    def devices(self) -> Sequence[Device]:
+        return tuple(self._devices)
+
+    def device(self, gpu: int) -> Device:
+        self._check_gpu(gpu)
+        return self._devices[gpu]
+
+    def node_of(self, gpu: int) -> int:
+        self._check_gpu(gpu)
+        return self._devices[gpu].node
+
+    def same_node(self, gpu_a: int, gpu_b: int) -> bool:
+        return self.node_of(gpu_a) == self.node_of(gpu_b)
+
+    def bandwidth(self, src: int, dst: int) -> float:
+        """Point-to-point bandwidth ``Bw(src, dst)`` in bytes/s."""
+        self._check_gpu(src)
+        self._check_gpu(dst)
+        return float(self._bandwidth[src, dst])
+
+    def latency(self, src: int, dst: int) -> float:
+        """One-way message latency in seconds."""
+        self._check_gpu(src)
+        self._check_gpu(dst)
+        return float(self._latency[src, dst])
+
+    @property
+    def bandwidth_matrix(self) -> np.ndarray:
+        """Copy of the full ``Bw(g, g')`` matrix (bytes/s)."""
+        return self._bandwidth.copy()
+
+    def gpus_on_node(self, node: int) -> tuple[int, ...]:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.num_nodes})")
+        return tuple(d.index for d in self._devices if d.node == node)
+
+    def nodes_spanned(self, gpus: Iterable[int]) -> tuple[int, ...]:
+        """Sorted node ids touched by ``gpus`` (dedup'd)."""
+        return tuple(sorted({self.node_of(g) for g in gpus}))
+
+    def min_group_bandwidth(self, gpus: Sequence[int]) -> float:
+        """Slowest pairwise link within a device group.
+
+        Ring-style collectives are bottlenecked by their slowest hop; for
+        groups that span nodes this is the inter-node link.
+        """
+        gpus = list(gpus)
+        if not gpus:
+            raise TopologyError("device group must be non-empty")
+        for g in gpus:
+            self._check_gpu(g)
+        if len(gpus) == 1:
+            return self.LOCAL_COPY_BANDWIDTH
+        sub = self._bandwidth[np.ix_(gpus, gpus)]
+        off_diagonal = sub[~np.eye(len(gpus), dtype=bool)]
+        return float(off_diagonal.min())
+
+    def _check_gpu(self, gpu: int) -> None:
+        if not 0 <= gpu < self.num_gpus:
+            raise TopologyError(f"gpu {gpu} out of range [0, {self.num_gpus})")
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterTopology(nodes={self.num_nodes}, "
+            f"gpus_per_node={self._config.gpus_per_node})"
+        )

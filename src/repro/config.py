@@ -1,0 +1,278 @@
+"""Configuration dataclasses shared across the FlexMoE reproduction.
+
+The configs mirror the knobs of the original system: the MoE model family
+(Table 1 of the paper), the GPU cluster (Section 5.1), the synthetic routing
+workload (Section 2.4) and the FlexMoE scheduler (Sections 3.3-3.4).
+
+All configs are frozen dataclasses validated eagerly in ``__post_init__`` so
+that an invalid experiment fails at construction time, not mid-simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+#: Bytes per master-copy parameter / optimizer element (fp32).
+BYTES_PER_ELEMENT = 4
+
+#: Bytes per activation / gradient element on the wire. MoE systems run the
+#: All-to-All and gradient AllReduce in half precision (Tutel, DeepSpeed-MoE
+#: and FasterMoE all do), so communication reasons in fp16.
+WIRE_BYTES_PER_ELEMENT = 2
+
+#: Optimizer states kept per parameter by Adam (param + m + v), used when a
+#: vExpert's model states are copied during ``Expand`` / ``Migrate``.
+ADAM_STATE_FACTOR = 3
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class MoEModelConfig:
+    """Architecture of one MoE-augmented transformer (one row of Table 1).
+
+    Attributes:
+        name: Human-readable model identifier, e.g. ``"GPT-MoE-L"``.
+        num_layers: Number of transformer layers; every other layer hosts an
+            MoE block in the paper's models.
+        d_model: Hidden dimension of the token representation.
+        d_ffn: Inner dimension of each expert FFN (4x ``d_model`` typically).
+        num_experts: Experts per MoE layer.
+        top_k: Gate sparsity (the paper uses Top-2 for every evaluation model).
+        capacity_factor: Expert capacity multiplier used by capacity-based
+            baselines; ``None`` disables capacity limits entirely.
+        balance_loss_coef: Weight of the auxiliary load-balancing loss.
+    """
+
+    name: str
+    num_layers: int
+    d_model: int
+    d_ffn: int
+    num_experts: int
+    top_k: int = 2
+    capacity_factor: float | None = 1.0
+    balance_loss_coef: float = 0.001
+
+    def __post_init__(self) -> None:
+        _require(self.num_layers >= 1, "num_layers must be >= 1")
+        _require(self.d_model >= 1, "d_model must be >= 1")
+        _require(self.d_ffn >= 1, "d_ffn must be >= 1")
+        _require(self.num_experts >= 1, "num_experts must be >= 1")
+        _require(
+            1 <= self.top_k <= self.num_experts,
+            f"top_k must be in [1, num_experts], got {self.top_k}",
+        )
+        if self.capacity_factor is not None:
+            _require(self.capacity_factor > 0, "capacity_factor must be > 0")
+        _require(self.balance_loss_coef >= 0, "balance_loss_coef must be >= 0")
+
+    @property
+    def expert_params(self) -> int:
+        """Parameter count of a single expert (two-layer FFN with biases)."""
+        return 2 * self.d_model * self.d_ffn + self.d_ffn + self.d_model
+
+    @property
+    def expert_bytes(self) -> int:
+        """Bytes of one expert's gradients on the wire (fp16 AllReduce)."""
+        return self.expert_params * WIRE_BYTES_PER_ELEMENT
+
+    @property
+    def expert_state_bytes(self) -> int:
+        """Bytes moved when a vExpert's model states are copied.
+
+        Covers parameters plus Adam optimizer moments, matching the paper's
+        ``size(e.model_states)`` in the adjustment cost model.
+        """
+        return self.expert_params * (1 + ADAM_STATE_FACTOR) * BYTES_PER_ELEMENT
+
+    @property
+    def token_bytes(self) -> int:
+        """Bytes of a single token activation crossing the All-to-All."""
+        return self.d_model * WIRE_BYTES_PER_ELEMENT
+
+    @property
+    def flops_per_token(self) -> float:
+        """Forward+backward FLOPs for one token through one expert.
+
+        Forward is ~``2 * 2 * d_model * d_ffn`` MACs-as-FLOPs; backward costs
+        roughly twice the forward pass, hence the factor of 3.
+        """
+        return 3.0 * 2.0 * 2.0 * self.d_model * self.d_ffn
+
+    def replace(self, **changes: object) -> "MoEModelConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Compute capabilities of one accelerator.
+
+    The defaults approximate an NVIDIA A100 (the paper's testbed): dense
+    throughput of 312 TFLOP/s with a realistic utilization factor applied to
+    expert GEMMs.
+    """
+
+    name: str = "A100"
+    memory_bytes: int = 80 * 1024**3
+    peak_flops: float = 312e12
+    mfu: float = 0.40
+
+    def __post_init__(self) -> None:
+        _require(self.memory_bytes > 0, "memory_bytes must be > 0")
+        _require(self.peak_flops > 0, "peak_flops must be > 0")
+        _require(0 < self.mfu <= 1.0, "mfu must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s available to expert computation."""
+        return self.peak_flops * self.mfu
+
+    def tokens_per_second(self, model: MoEModelConfig) -> float:
+        """Ground-truth TPS of this device for ``model``'s experts."""
+        return self.effective_flops / model.flops_per_token
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and fabric of the simulated GPU cluster.
+
+    Defaults follow the paper's Azure setup: 8 A100s per node, NVLink 3.0
+    intra-node (~300 GB/s per GPU) and 8x200 Gbps InfiniBand inter-node
+    (~25 GB/s per GPU).
+    """
+
+    num_nodes: int = 4
+    gpus_per_node: int = 8
+    device: DeviceSpec = field(default_factory=DeviceSpec)
+    intra_node_bandwidth: float = 300e9
+    inter_node_bandwidth: float = 25e9
+    intra_node_latency: float = 3e-6
+    inter_node_latency: float = 12e-6
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 1, "num_nodes must be >= 1")
+        _require(self.gpus_per_node >= 1, "gpus_per_node must be >= 1")
+        _require(self.intra_node_bandwidth > 0, "intra_node_bandwidth must be > 0")
+        _require(self.inter_node_bandwidth > 0, "inter_node_bandwidth must be > 0")
+        _require(self.intra_node_latency >= 0, "intra_node_latency must be >= 0")
+        _require(self.inter_node_latency >= 0, "inter_node_latency must be >= 0")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def replace(self, **changes: object) -> "ClusterConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Synthetic routing-trace parameters calibrated to Section 2.4.
+
+    Attributes:
+        tokens_per_step: Global number of tokens dispatched to each MoE layer
+            per training step.
+        num_steps: Length of the trace.
+        skew: Zipf-like skew exponent of the stationary expert popularity
+            (``~1.3`` reproduces Figure 3a's "top 10 of 64 experts receive
+            ~75% of tokens").
+        drift: Per-step scale of the random walk applied to expert logits;
+            controls how fast the routing fluctuates (Figure 3b).
+        renewal_period: Average number of steps between popularity "regime
+            changes" where a cold expert starts heating up.
+        final_skew: When set, the popularity skew anneals linearly from
+            ``skew`` to this value over the trace, modelling the balance
+            loss gradually evening out the routing (Figure 7a: "imbalanced
+            workloads are getting better due to the punishment of balance
+            loss"). ``None`` keeps the skew stationary.
+        seed: RNG seed for reproducibility.
+    """
+
+    tokens_per_step: int = 2_097_152
+    num_steps: int = 200
+    skew: float = 1.3
+    drift: float = 0.05
+    renewal_period: int = 500
+    final_skew: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.tokens_per_step >= 1, "tokens_per_step must be >= 1")
+        _require(self.num_steps >= 1, "num_steps must be >= 1")
+        _require(self.skew >= 0, "skew must be >= 0")
+        _require(self.drift >= 0, "drift must be >= 0")
+        _require(self.renewal_period >= 1, "renewal_period must be >= 1")
+        if self.final_skew is not None:
+            _require(self.final_skew >= 0, "final_skew must be >= 0")
+
+    def replace(self, **changes: object) -> "WorkloadConfig":
+        return dataclasses.replace(self, **changes)
+
+
+#: Balance metrics understood by the scheduler (Figure 6a ablation).
+BALANCE_METRICS = ("max", "variance")
+
+#: Scheduling trigger modes (Figure 6b ablation).
+SCHEDULER_MODES = ("dynamic", "static")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the FlexMoE scheduler (Algorithms 1-2).
+
+    Attributes:
+        balance_threshold: Trigger threshold on the balance ratio (Eq. 6);
+            ratios above it start a scheduling round.
+        metric: ``"max"`` for the paper's balance ratio, ``"variance"`` for
+            the ablation alternative.
+        mode: ``"dynamic"`` triggers on the threshold; ``"static"`` triggers
+            every ``static_interval`` steps unconditionally.
+        static_interval: Period of the static trigger (Figure 6b uses
+            10/50/100).
+        max_plans_per_round: Safety bound on Expand/Shrink pairs applied in a
+            single scheduling round.
+        migrate: Whether the background Migrate pass runs after each round.
+        migrate_period: Steps between background Migrate passes when no
+            Expand/Shrink fired (the pass always follows applied pairs).
+        best_effort: Overlap adjustments with training on a separate stream
+            (Section 4); when ``False`` adjustments block the step.
+        slots_per_gpu: Number of vExpert slots hosted by each GPU.
+            ``None`` (default) auto-sizes to ``max(4, 2 * ceil(E / G))`` so
+            every cluster keeps replication headroom.
+    """
+
+    balance_threshold: float = 1.15
+    metric: str = "max"
+    mode: str = "dynamic"
+    static_interval: int = 50
+    max_plans_per_round: int = 64
+    migrate: bool = True
+    migrate_period: int = 10
+    best_effort: bool = True
+    slots_per_gpu: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.balance_threshold >= 1.0, "balance_threshold must be >= 1")
+        _require(
+            self.metric in BALANCE_METRICS,
+            f"metric must be one of {BALANCE_METRICS}, got {self.metric!r}",
+        )
+        _require(
+            self.mode in SCHEDULER_MODES,
+            f"mode must be one of {SCHEDULER_MODES}, got {self.mode!r}",
+        )
+        _require(self.static_interval >= 1, "static_interval must be >= 1")
+        _require(self.max_plans_per_round >= 1, "max_plans_per_round must be >= 1")
+        _require(self.migrate_period >= 1, "migrate_period must be >= 1")
+        if self.slots_per_gpu is not None:
+            _require(self.slots_per_gpu >= 1, "slots_per_gpu must be >= 1")
+
+    def replace(self, **changes: object) -> "SchedulerConfig":
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,188 @@
+"""Cost models for one MoE layer step (Eqs. 5, 7, 8, 9).
+
+The training cost of a step under token assignment ``I`` and placement
+``P`` is (Eq. 5)::
+
+    T(I, P) = max_g  sum_{(e,g) in P} [ T_C(I_eg) + T_A2A(I_eg) + T_Sync(P, e) ]
+
+with per-term models:
+
+* computation (Eq. 7):   ``T_C = I_eg / TPS``
+* All-to-All (Eq. 8):    ``T_A2A = 4 * sum_g' I_eg.count(g') / Bw(g, g')``
+  (four All-to-Alls per step: dispatch + combine, forward + backward)
+* synchronization (Eq. 9): ``T_Sync = size(e.gradients) / BPS(P.index(e))``
+* adjustment:            ``size(e.model_states) / Bw(g, g')``
+
+All environmental variables (TPS, Bw, BPS) come from a
+:class:`~repro.cluster.profiler.ClusterProfile`, mirroring the paper's
+profiling-based estimation. Feeding an exact profile turns the same code
+into the ground-truth executor's timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.profiler import ClusterProfile
+from repro.config import MoEModelConfig
+from repro.core.placement import Placement
+from repro.core.primitives import PlacementAction
+from repro.exceptions import RoutingError
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-GPU cost decomposition of a single MoE-layer step.
+
+    Attributes:
+        compute: Seconds of expert computation per GPU.
+        all_to_all: Seconds of All-to-All communication per GPU.
+        sync: Seconds of replica-gradient AllReduce per GPU.
+    """
+
+    compute: np.ndarray
+    all_to_all: np.ndarray
+    sync: np.ndarray
+
+    @property
+    def per_gpu_total(self) -> np.ndarray:
+        return self.compute + self.all_to_all + self.sync
+
+    @property
+    def step_time(self) -> float:
+        """Eq. 5's outer max: the slowest GPU defines the step."""
+        return float(self.per_gpu_total.max())
+
+    @property
+    def compute_utilization(self) -> float:
+        """Mean fraction of the step each GPU spends on useful compute.
+
+        This is the "GPU utilization" quantity of Figure 2: idle waiting on
+        stragglers and communication both count against it.
+        """
+        step = self.step_time
+        if step == 0:
+            return 1.0
+        return float((self.compute / step).mean())
+
+
+class MoECostModel:
+    """Cost model over a profiled cluster for one MoE layer.
+
+    Args:
+        profile: Profiled environmental variables (TPS, Bw, BPS).
+        model: Architecture whose expert/token sizes set the byte counts.
+    """
+
+    #: All-to-All passes per training step (Eq. 8's factor).
+    A2A_PASSES = 4
+
+    def __init__(self, profile: ClusterProfile, model: MoEModelConfig) -> None:
+        self._profile = profile
+        self._model = model
+
+    @property
+    def model(self) -> MoEModelConfig:
+        return self._model
+
+    @property
+    def profile(self) -> ClusterProfile:
+        return self._profile
+
+    # ------------------------------------------------------------------
+    # Individual terms
+    # ------------------------------------------------------------------
+    def compute_time(self, tokens: float, gpu: int) -> float:
+        """Eq. 7 for a single (expert, gpu) token count."""
+        if tokens < 0:
+            raise RoutingError("token count must be >= 0")
+        return tokens / self._profile.tokens_per_second(gpu)
+
+    def compute_times(self, arrivals: np.ndarray) -> np.ndarray:
+        """Per-GPU compute seconds from an arrivals matrix ``(experts, gpus)``."""
+        arrivals = np.asarray(arrivals, dtype=float)
+        per_gpu_tokens = arrivals.sum(axis=0)
+        return per_gpu_tokens / self._profile.tps
+
+    def all_to_all_times(self, routes: np.ndarray) -> np.ndarray:
+        """Per-GPU All-to-All seconds (Eq. 8) from a route tensor.
+
+        Args:
+            routes: ``(experts, src_gpus, dst_gpus)`` token counts.
+        """
+        routes = np.asarray(routes, dtype=float)
+        if routes.ndim != 3:
+            raise RoutingError("routes must be (experts, src, dst)")
+        # Bytes entering each destination from each source, all experts.
+        flow = routes.sum(axis=0) * self._model.token_bytes  # (src, dst)
+        np.fill_diagonal(flow, 0.0)  # local tokens never cross a link
+        per_dst = (flow / self._profile.bandwidth).sum(axis=0)
+        return self.A2A_PASSES * per_dst
+
+    def sync_times(self, placement: Placement) -> np.ndarray:
+        """Per-GPU AllReduce seconds (Eq. 9) for replicated experts."""
+        times = np.zeros(placement.num_gpus)
+        grad_bytes = self._model.expert_bytes
+        for expert, group in placement.replica_groups().items():
+            if len(group) <= 1:
+                continue
+            bps = self._profile.allreduce_bps(group)
+            t_sync = grad_bytes / bps
+            for gpu in group:
+                times[gpu] += t_sync
+        return times
+
+    def adjustment_cost(self, actions: Sequence[PlacementAction]) -> float:
+        """Seconds of sequential transfer time for a list of primitives.
+
+        Uses the profiled bandwidth table (the paper's
+        ``size(model_states) / Bw(g, g')``). The runtime's adjustment queue
+        may merge/parallelize these; this is the conservative serial bound
+        the Policy Maker reasons with.
+        """
+        total = 0.0
+        state_bytes = self._model.expert_state_bytes
+        for action in actions:
+            endpoints = getattr(action, "gpu_a", None)
+            if endpoints is not None:  # Migrate
+                bw_ab = self._profile.link_bandwidth(action.gpu_a, action.gpu_b)
+                bw_ba = self._profile.link_bandwidth(action.gpu_b, action.gpu_a)
+                total += max(state_bytes / bw_ab, state_bytes / bw_ba)
+                continue
+            source = getattr(action, "source_gpu", None)
+            if source is None:  # Shrink
+                continue
+            if source == action.gpu:  # intra-GPU Expand: parameter sharing
+                continue
+            bw = self._profile.link_bandwidth(source, action.gpu)
+            total += state_bytes / bw
+        return total
+
+    # ------------------------------------------------------------------
+    # Full step
+    # ------------------------------------------------------------------
+    def step_breakdown(
+        self, routes: np.ndarray, placement: Placement
+    ) -> CostBreakdown:
+        """Eq. 5's inner sums, decomposed per GPU."""
+        routes = np.asarray(routes, dtype=float)
+        if routes.ndim != 3:
+            raise RoutingError("routes must be (experts, src, dst)")
+        if routes.shape[0] != placement.num_experts:
+            raise RoutingError(
+                f"routes cover {routes.shape[0]} experts but placement has "
+                f"{placement.num_experts}"
+            )
+        arrivals = routes.sum(axis=1)  # (experts, dst_gpus)
+        return CostBreakdown(
+            compute=self.compute_times(arrivals),
+            all_to_all=self.all_to_all_times(routes),
+            sync=self.sync_times(placement),
+        )
+
+    def step_time(self, routes: np.ndarray, placement: Placement) -> float:
+        """Eq. 5: modelled wall-clock of one MoE-layer step."""
+        return self.step_breakdown(routes, placement).step_time

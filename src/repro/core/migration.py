@@ -1,0 +1,171 @@
+"""Background Migrate pass: cost-driven replica re-location.
+
+After the Expand/Shrink loop, the Scheduler "turns to the Migrate operation
+to reduce the synchronization cost and continuously optimizes it at backend"
+(Algorithm 1, line 9). Migrate exchanges the model states of two vExperts,
+so it re-shapes *where* replicas live without changing how many each expert
+owns.
+
+Two effects compete and are both captured by the full cost model (Eq. 5):
+
+* **sync** — a replica group spanning nodes pays AllReduce over the slow
+  inter-node fabric; consolidating the group intra-node cuts that cost;
+* **All-to-All** — the router is locality-first, so spreading a hot
+  expert's replicas across nodes lets each node absorb its own tokens
+  locally; over-consolidating funnels traffic through one node's NICs.
+
+Every candidate exchange is therefore evaluated on the *total* modelled
+step time for the current assignment, not the sync term alone. Candidates
+come from two sources: replicas of experts with scattered (multi-node)
+groups, and replicas residing on the most-loaded GPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.cost_model import MoECostModel
+from repro.core.placement import Placement
+from repro.core.primitives import Migrate, PlacementAction
+from repro.core.router import FlexibleTokenRouter
+from repro.exceptions import SchedulingError
+
+
+class MigrationPlanner:
+    """Greedy full-cost replica re-location over replica groups.
+
+    Args:
+        cost_model: Profiled cost model (Eqs. 5, 7-9).
+        topology: Cluster locality structure.
+        max_moves: Upper bound on moves proposed per pass, bounding the
+            background adjustment traffic per step.
+        max_candidates: Number of (expert, source GPU) candidates examined
+            per move, bounding the search cost.
+    """
+
+    def __init__(
+        self,
+        cost_model: MoECostModel,
+        topology: ClusterTopology,
+        max_moves: int = 2,
+        max_candidates: int = 6,
+    ) -> None:
+        if max_moves < 0:
+            raise SchedulingError("max_moves must be >= 0")
+        if max_candidates < 1:
+            raise SchedulingError("max_candidates must be >= 1")
+        self._cost_model = cost_model
+        self._topology = topology
+        self._max_moves = max_moves
+        self._max_candidates = max_candidates
+        self._router = FlexibleTokenRouter()
+
+    def total_sync_time(self, placement: Placement) -> float:
+        """Sum of per-GPU sync seconds (diagnostic helper)."""
+        return float(self._cost_model.sync_times(placement).sum())
+
+    def step_time(self, assignment: np.ndarray, placement: Placement) -> float:
+        routes = self._router.route_fractional(assignment, placement)
+        return self._cost_model.step_time(routes, placement)
+
+    def plan(
+        self, assignment: np.ndarray, placement: Placement
+    ) -> list[PlacementAction]:
+        """Propose up to ``max_moves`` exchanges strictly improving Eq. 5.
+
+        The placement is *not* modified; the scheduler applies the returned
+        actions through its adjustment queue.
+        """
+        assignment = np.asarray(assignment)
+        actions: list[PlacementAction] = []
+        trial = placement.copy()
+        for _ in range(self._max_moves):
+            move = self._best_move(assignment, trial)
+            if move is None:
+                break
+            move.apply(trial)
+            actions.append(move)
+        return actions
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _candidate_sources(
+        self, assignment: np.ndarray, placement: Placement
+    ) -> list[tuple[int, int]]:
+        """(expert, gpu) pairs worth trying to move, most promising first."""
+        candidates: list[tuple[float, int, int]] = []
+        expert_loads = assignment.sum(axis=1).astype(float)
+        replicas = placement.replica_counts().astype(float)
+        per_replica = np.divide(
+            expert_loads, replicas, out=np.zeros_like(expert_loads),
+            where=replicas > 0,
+        )
+        gpu_loads = placement.counts.T.astype(float) @ per_replica
+
+        # Source kind 1: replicas of sync-scattered experts.
+        for expert, group in placement.replica_groups().items():
+            if len(group) <= 1:
+                continue
+            if len(self._topology.nodes_spanned(group)) <= 1:
+                continue
+            for gpu in group:
+                candidates.append((per_replica[expert], expert, gpu))
+
+        # Source kind 2: replicas living on the most loaded GPUs.
+        for gpu in np.argsort(-gpu_loads)[:2]:
+            for expert in placement.experts_on(int(gpu)):
+                candidates.append((per_replica[expert], expert, int(gpu)))
+
+        candidates.sort(key=lambda c: -c[0])
+        seen: set[tuple[int, int]] = set()
+        unique: list[tuple[int, int]] = []
+        for _, expert, gpu in candidates:
+            key = (expert, gpu)
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        return unique[: self._max_candidates]
+
+    def _candidate_targets(
+        self, assignment: np.ndarray, placement: Placement
+    ) -> list[int]:
+        """GPUs worth moving a replica to: least loaded first."""
+        expert_loads = assignment.sum(axis=1).astype(float)
+        replicas = placement.replica_counts().astype(float)
+        per_replica = np.divide(
+            expert_loads, replicas, out=np.zeros_like(expert_loads),
+            where=replicas > 0,
+        )
+        gpu_loads = placement.counts.T.astype(float) @ per_replica
+        return [int(g) for g in np.argsort(gpu_loads)[:4]]
+
+    def _best_move(
+        self, assignment: np.ndarray, placement: Placement
+    ) -> Migrate | None:
+        baseline = self.step_time(assignment, placement)
+        best_action: Migrate | None = None
+        best_time = baseline
+        targets = self._candidate_targets(assignment, placement)
+        for expert, src in self._candidate_sources(assignment, placement):
+            for dst in targets:
+                if dst == src:
+                    continue
+                for partner in placement.experts_on(dst):
+                    if partner == expert:
+                        continue
+                    action = Migrate(
+                        expert_a=expert, gpu_a=src,
+                        expert_b=partner, gpu_b=dst,
+                    )
+                    candidate = placement.copy()
+                    try:
+                        action.apply(candidate)
+                    except Exception:
+                        continue
+                    time = self.step_time(assignment, candidate)
+                    if time < best_time - 1e-12:
+                        best_time = time
+                        best_action = action
+        return best_action

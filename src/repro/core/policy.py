@@ -1,0 +1,176 @@
+"""The Policy Maker: vExpert-based scheduling (Algorithm 2).
+
+Given the current token assignment and placement, the Policy Maker proposes
+one (Shrink, Expand) pair per call:
+
+1. estimate the modelled step time ``t0`` of the current placement;
+2. pick ``e0 = argmax_e cap_e`` (most overloaded per vExpert) and
+   ``e1 = argmin_e cap_e`` (most underloaded, must retain >= 1 vExpert);
+3. estimate ``t1`` after shrinking ``e1`` and expanding ``e0`` into the
+   freed slot;
+4. return the pair iff ``t1 < t0`` (optionally charging an amortized share
+   of the adjustment transfer cost), else the empty plan.
+
+Because an expert may hold replicas on several GPUs, *which* replica of
+``e1`` to shrink matters: every candidate GPU is evaluated and the best one
+wins. The Expand's source replica is chosen for cheapest transfer (same GPU
+if packing, otherwise the highest-bandwidth peer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost_model import MoECostModel
+from repro.core.placement import Placement
+from repro.core.primitives import Expand, PlacementAction, Shrink
+from repro.core.router import FlexibleTokenRouter
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One Policy Maker proposal with its modelled costs."""
+
+    actions: tuple[PlacementAction, ...]
+    time_before: float
+    time_after: float
+    adjustment_time: float
+
+    @property
+    def beneficial(self) -> bool:
+        return bool(self.actions)
+
+
+class PolicyMaker:
+    """Cost-model-driven greedy placement search.
+
+    Args:
+        cost_model: Profiled cost model (Eqs. 5, 7-9).
+        router: Router used to materialize candidate placements' traffic.
+        adjustment_horizon: Number of steps the one-time adjustment transfer
+            cost is amortized over when comparing candidates. ``0`` ignores
+            adjustment costs entirely (pure Algorithm 2); the paper notes
+            adjustments run concurrently with training, so the default
+            charges only a small amortized share.
+    """
+
+    def __init__(
+        self,
+        cost_model: MoECostModel,
+        router: FlexibleTokenRouter | None = None,
+        adjustment_horizon: int = 25,
+        expand_candidates: int = 3,
+        shrink_candidates: int = 2,
+    ) -> None:
+        if adjustment_horizon < 0:
+            raise SchedulingError("adjustment_horizon must be >= 0")
+        if expand_candidates < 1 or shrink_candidates < 1:
+            raise SchedulingError("candidate counts must be >= 1")
+        self._cost_model = cost_model
+        self._router = router or FlexibleTokenRouter()
+        self._adjustment_horizon = adjustment_horizon
+        self._expand_candidates = expand_candidates
+        self._shrink_candidates = shrink_candidates
+
+    @property
+    def cost_model(self) -> MoECostModel:
+        return self._cost_model
+
+    def estimate_step_time(
+        self, assignment: np.ndarray, placement: Placement
+    ) -> float:
+        """Modelled step time of ``assignment`` under ``placement``.
+
+        Uses the router's continuous relaxation: candidate evaluation only
+        needs costs, not integral token counts.
+        """
+        routes = self._router.route_fractional(assignment, placement)
+        return self._cost_model.step_time(routes, placement)
+
+    def make_plan(
+        self, assignment: np.ndarray, placement: Placement
+    ) -> PolicyDecision:
+        """Algorithm 2: propose one (Shrink, Expand) pair or nothing."""
+        assignment = np.asarray(assignment)
+        t0 = self.estimate_step_time(assignment, placement)
+        expert_loads = assignment.sum(axis=1).astype(float)
+        replicas = placement.replica_counts().astype(float)
+        caps = expert_loads / replicas
+
+        order_desc = np.argsort(-caps, kind="stable")
+        best: PolicyDecision | None = None
+        for e0 in order_desc[: self._expand_candidates]:
+            e0 = int(e0)
+            shrinkable = self._find_shrink_candidates(caps, replicas, exclude=e0)
+            for e1 in shrinkable[: self._shrink_candidates]:
+                decision = self._best_pair(assignment, placement, e0, e1, t0)
+                if decision is not None and (
+                    best is None or decision.time_after < best.time_after
+                ):
+                    best = decision
+            if best is not None:
+                # Algorithm 2 expands the most overloaded expert; wider
+                # candidates are only a fallback when it cannot improve.
+                break
+        if best is None:
+            return PolicyDecision((), t0, t0, 0.0)
+        return best
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find_shrink_candidates(
+        self, caps: np.ndarray, replicas: np.ndarray, exclude: int
+    ) -> list[int]:
+        """Experts shrinkable (n_e > 1), sorted by ascending per-vExpert load."""
+        order = np.argsort(caps, kind="stable")
+        return [int(e) for e in order if replicas[e] > 1 and int(e) != exclude]
+
+    def _best_pair(
+        self,
+        assignment: np.ndarray,
+        placement: Placement,
+        e0: int,
+        e1: int,
+        t0: float,
+    ) -> PolicyDecision | None:
+        """Best (Shrink e1@g, Expand e0@g) over all shrink GPUs ``g``."""
+        best: PolicyDecision | None = None
+        for gpu in placement.gpus_of(e1):
+            trial = placement.copy()
+            shrink = Shrink(expert=e1, gpu=gpu)
+            try:
+                shrink.apply(trial)
+            except Exception:  # last replica elsewhere raced; skip
+                continue
+            source = self._expand_source(trial, e0, gpu)
+            expand = Expand(expert=e0, gpu=gpu, source_gpu=source)
+            expand.apply(trial)
+            routes = self._router.route_fractional(assignment, trial)
+            t1 = self._cost_model.step_time(routes, trial)
+            adjustment = self._cost_model.adjustment_cost([shrink, expand])
+            effective = t1 + self._amortized(adjustment)
+            if effective < t0 and (best is None or effective < best.time_after):
+                best = PolicyDecision(
+                    actions=(shrink, expand),
+                    time_before=t0,
+                    time_after=effective,
+                    adjustment_time=adjustment,
+                )
+        return best
+
+    def _expand_source(self, placement: Placement, expert: int, target: int) -> int:
+        """Cheapest source replica for copying ``expert``'s states to ``target``."""
+        holders = placement.gpus_of(expert)
+        if target in holders:
+            return target  # packing: intra-GPU parameter sharing, free
+        profile = self._cost_model.profile
+        return max(holders, key=lambda g: profile.link_bandwidth(g, target))
+
+    def _amortized(self, adjustment: float) -> float:
+        if self._adjustment_horizon == 0:
+            return 0.0
+        return adjustment / self._adjustment_horizon

@@ -1,0 +1,156 @@
+"""Placement-modification primitives: Expand, Shrink, Migrate (Section 3.3).
+
+Each primitive is a small immutable action object that knows how to apply
+itself to a :class:`~repro.core.placement.Placement` and what data movement
+it implies:
+
+* **Expand** copies an expert's parameters and optimizer states from a
+  source vExpert to a newly bound slot — free when source and target share a
+  GPU (parameter sharing), a NCCL point-to-point transfer otherwise.
+* **Shrink** releases a vExpert by marking a tag; no communication.
+* **Migrate** exchanges the model states of two vExperts on different GPUs,
+  costing two point-to-point transfers (modelled as overlapping, so the
+  wall-clock cost is one transfer over the slower direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.cluster.collectives import CollectiveCostModel
+from repro.config import MoEModelConfig
+from repro.core.placement import Placement
+from repro.exceptions import PlacementError
+
+
+@dataclass(frozen=True)
+class Expand:
+    """Allocate one extra vExpert for ``expert`` on ``gpu``.
+
+    Attributes:
+        expert: Expert gaining a replica.
+        gpu: GPU whose free slot is bound.
+        source_gpu: GPU supplying the model states. When it equals ``gpu``
+            the copy is intra-GPU parameter sharing and costs nothing.
+    """
+
+    expert: int
+    gpu: int
+    source_gpu: int
+
+    def apply(self, placement: Placement) -> None:
+        if placement.count(self.expert, self.source_gpu) < 1:
+            raise PlacementError(
+                f"expand source gpu {self.source_gpu} holds no vExpert of "
+                f"expert {self.expert}"
+            )
+        placement.add_vexpert(self.expert, self.gpu)
+
+    def transfer_bytes(self, model: MoEModelConfig) -> int:
+        """Bytes of model states moved by this action."""
+        if self.gpu == self.source_gpu:
+            return 0
+        return model.expert_state_bytes
+
+    def cost(self, model: MoEModelConfig, collectives: CollectiveCostModel) -> float:
+        """Seconds of point-to-point transfer implied by this action."""
+        return collectives.p2p_time(
+            self.transfer_bytes(model), self.source_gpu, self.gpu
+        )
+
+
+@dataclass(frozen=True)
+class Shrink:
+    """Release one vExpert of ``expert`` from ``gpu`` (zero-cost tag)."""
+
+    expert: int
+    gpu: int
+
+    def apply(self, placement: Placement) -> None:
+        placement.remove_vexpert(self.expert, self.gpu)
+
+    def transfer_bytes(self, model: MoEModelConfig) -> int:
+        return 0
+
+    def cost(self, model: MoEModelConfig, collectives: CollectiveCostModel) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Migrate:
+    """Exchange the vExpert of ``expert_a``@``gpu_a`` with
+    ``expert_b``@``gpu_b`` to consolidate replica groups."""
+
+    expert_a: int
+    gpu_a: int
+    expert_b: int
+    gpu_b: int
+
+    def apply(self, placement: Placement) -> None:
+        placement.swap_vexperts(self.expert_a, self.gpu_a, self.expert_b, self.gpu_b)
+
+    def transfer_bytes(self, model: MoEModelConfig) -> int:
+        return 2 * model.expert_state_bytes
+
+    def cost(self, model: MoEModelConfig, collectives: CollectiveCostModel) -> float:
+        forward = collectives.p2p_time(
+            model.expert_state_bytes, self.gpu_a, self.gpu_b
+        )
+        backward = collectives.p2p_time(
+            model.expert_state_bytes, self.gpu_b, self.gpu_a
+        )
+        return max(forward, backward)
+
+
+PlacementAction = Union[Expand, Shrink, Migrate]
+
+
+def apply_actions(placement: Placement, actions: list[PlacementAction]) -> None:
+    """Apply ``actions`` in order, validating the final placement.
+
+    A failed action leaves earlier actions applied (matching the runtime,
+    where primitives commit one at a time), but the final state is always
+    re-validated.
+    """
+    for action in actions:
+        action.apply(placement)
+    placement.validate()
+
+
+def can_merge(a: PlacementAction, b: PlacementAction) -> bool:
+    """Whether two queued transfers can be merged into one launch.
+
+    Section 4 ("Paralleled Operation Modification"): operations sharing both
+    source and destination are merged to increase message size.
+    """
+    endpoints_a = _endpoints(a)
+    endpoints_b = _endpoints(b)
+    if endpoints_a is None or endpoints_b is None:
+        return False
+    return endpoints_a == endpoints_b
+
+
+def can_parallelize(a: PlacementAction, b: PlacementAction) -> bool:
+    """Whether two queued transfers can run concurrently.
+
+    Operations sharing neither source nor destination use disjoint links and
+    are executed in parallel (Section 4).
+    """
+    endpoints_a = _endpoints(a)
+    endpoints_b = _endpoints(b)
+    if endpoints_a is None or endpoints_b is None:
+        # A Shrink involves no transfer: always parallel-safe.
+        return True
+    return not (set(endpoints_a) & set(endpoints_b))
+
+
+def _endpoints(action: PlacementAction) -> tuple[int, int] | None:
+    """(src, dst) GPU pair of the action's transfer, or None if no transfer."""
+    if isinstance(action, Expand):
+        if action.source_gpu == action.gpu:
+            return None
+        return (action.source_gpu, action.gpu)
+    if isinstance(action, Migrate):
+        return (action.gpu_a, action.gpu_b)
+    return None

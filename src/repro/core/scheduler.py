@@ -1,0 +1,181 @@
+"""The Scheduler: workload monitoring and placement adjustment (Algorithm 1).
+
+Every training step the Scheduler observes the gate's token assignment
+``I``, evaluates the balance metric under the current placement, and — when
+the metric exceeds the threshold (dynamic mode) or a fixed interval elapses
+(static mode, Figure 6b ablation) — repeatedly asks the Policy Maker for
+(Shrink, Expand) pairs until no beneficial modification remains. A
+background Migrate pass then consolidates replica groups.
+
+Adjustment transfers are pushed into an adjustment queue; with best-effort
+mode they overlap training on a separate stream (Section 4), otherwise they
+block the step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.config import SchedulerConfig
+from repro.core.balance import (
+    gpu_loads_even_split,
+    metric_threshold_exceeded,
+    metric_value,
+)
+from repro.core.cost_model import MoECostModel
+from repro.core.migration import MigrationPlanner
+from repro.core.placement import Placement
+from repro.core.policy import PolicyMaker
+from repro.core.primitives import PlacementAction, apply_actions
+from repro.core.router import FlexibleTokenRouter
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class SchedulingOutcome:
+    """What one scheduler invocation decided and did.
+
+    Attributes:
+        triggered: Whether a scheduling round ran at all.
+        metric_before: Balance metric before any adjustment.
+        metric_after: Balance metric after the applied adjustments.
+        actions: Placement actions applied this step (Expand/Shrink pairs
+            followed by Migrates).
+        rounds: Number of Policy Maker invocations that returned a plan.
+        adjustment_time: Total modelled transfer seconds of the actions.
+    """
+
+    triggered: bool
+    metric_before: float
+    metric_after: float
+    actions: tuple[PlacementAction, ...] = ()
+    rounds: int = 0
+    adjustment_time: float = 0.0
+
+
+class Scheduler:
+    """FlexMoE's monitoring + adjustment loop over one MoE layer.
+
+    Args:
+        placement: Placement to manage (mutated in place).
+        policy: The Policy Maker used for Expand/Shrink decisions.
+        config: Trigger metric/mode/threshold configuration.
+        topology: Cluster locality, needed by the Migrate planner.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        policy: PolicyMaker,
+        config: SchedulerConfig,
+        topology: ClusterTopology,
+    ) -> None:
+        self._placement = placement
+        self._policy = policy
+        self._config = config
+        self._router = FlexibleTokenRouter()
+        self._migration = MigrationPlanner(policy.cost_model, topology)
+        self._history: list[SchedulingOutcome] = []
+
+    @property
+    def placement(self) -> Placement:
+        return self._placement
+
+    @property
+    def config(self) -> SchedulerConfig:
+        return self._config
+
+    @property
+    def history(self) -> tuple[SchedulingOutcome, ...]:
+        return tuple(self._history)
+
+    @property
+    def cost_model(self) -> MoECostModel:
+        return self._policy.cost_model
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def current_metric(self, assignment: np.ndarray) -> float:
+        loads = gpu_loads_even_split(assignment, self._placement)
+        return metric_value(self._config.metric, loads)
+
+    def should_trigger(self, assignment: np.ndarray, step: int) -> bool:
+        if self._config.mode == "static":
+            return step % self._config.static_interval == 0
+        value = self.current_metric(assignment)
+        return metric_threshold_exceeded(
+            self._config.metric, value, self._config.balance_threshold
+        )
+
+    def on_step(self, assignment: np.ndarray, step: int) -> SchedulingOutcome:
+        """Run the monitoring loop for one step's assignment ``I``.
+
+        Mutates the managed placement when adjustments are beneficial and
+        returns the outcome record (also appended to :attr:`history`).
+        """
+        assignment = np.asarray(assignment)
+        metric_before = self.current_metric(assignment)
+        if not self.should_trigger(assignment, step):
+            outcome = SchedulingOutcome(
+                triggered=False,
+                metric_before=metric_before,
+                metric_after=metric_before,
+            )
+            self._history.append(outcome)
+            return outcome
+
+        applied: list[PlacementAction] = []
+        rounds = 0
+        adjustment_time = 0.0
+        while rounds < self._config.max_plans_per_round:
+            decision = self._policy.make_plan(assignment, self._placement)
+            if not decision.beneficial:
+                break
+            apply_actions(self._placement, list(decision.actions))
+            applied.extend(decision.actions)
+            adjustment_time += decision.adjustment_time
+            rounds += 1
+            value = self.current_metric(assignment)
+            if self._config.mode == "dynamic" and not metric_threshold_exceeded(
+                self._config.metric, value, self._config.balance_threshold
+            ):
+                break
+
+        run_migrate = self._config.migrate and (
+            rounds > 0 or step % self._config.migrate_period == 0
+        )
+        if run_migrate:
+            migrations = self._migration.plan(assignment, self._placement)
+            if migrations:
+                apply_actions(self._placement, migrations)
+                applied.extend(migrations)
+                adjustment_time += self._policy.cost_model.adjustment_cost(
+                    migrations
+                )
+
+        outcome = SchedulingOutcome(
+            triggered=True,
+            metric_before=metric_before,
+            metric_after=self.current_metric(assignment),
+            actions=tuple(applied),
+            rounds=rounds,
+            adjustment_time=adjustment_time,
+        )
+        self._history.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def total_actions(self) -> int:
+        return sum(len(outcome.actions) for outcome in self._history)
+
+    def trigger_rate(self) -> float:
+        """Fraction of observed steps that started a scheduling round."""
+        if not self._history:
+            return 0.0
+        return sum(o.triggered for o in self._history) / len(self._history)

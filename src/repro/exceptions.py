@@ -1,0 +1,44 @@
+"""Exception hierarchy for the FlexMoE reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class TopologyError(ReproError):
+    """A cluster topology constraint was violated (unknown device, etc.)."""
+
+
+class PlacementError(ReproError):
+    """An expert-to-device mapping invariant was violated."""
+
+
+class RoutingError(ReproError):
+    """Token routing failed to satisfy conservation or capacity limits."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler or policy maker produced an inconsistent plan."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ModelError(ReproError):
+    """A neural-network module was misused (shape mismatch, missing cache)."""
+
+
+class ProfilingError(ReproError):
+    """Profiling data was missing or inconsistent for a cost-model query."""

@@ -1,0 +1,91 @@
+"""Multi-head self-attention with manual backpropagation (Eq. 1).
+
+Implements ``Attention(Q, K, V) = softmax(QK^T / sqrt(d)) V`` with separate
+Q/K/V/output projections. Supports an optional causal mask for the GPT-style
+language-modelling head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.model.layers import Linear, Module, softmax
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled-dot-product self-attention.
+
+    Args:
+        d_model: Model width (input and output feature size).
+        num_heads: Attention heads; must divide ``d_model``.
+        rng: Initializer RNG.
+        causal: Apply a lower-triangular mask (GPT-style).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        causal: bool = False,
+    ) -> None:
+        if d_model % num_heads != 0:
+            raise ModelError(
+                f"d_model ({d_model}) must be divisible by num_heads "
+                f"({num_heads})"
+            )
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.causal = causal
+        self.q_proj = Linear(d_model, d_model, rng, "attn.q")
+        self.k_proj = Linear(d_model, d_model, rng, "attn.k")
+        self.v_proj = Linear(d_model, d_model, rng, "attn.v")
+        self.out_proj = Linear(d_model, d_model, rng, "attn.out")
+        self._cache: tuple | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) -> (B, H, T, d_head)"""
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, T, d_head) -> (B, T, D)"""
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[-1] != self.d_model:
+            raise ModelError(
+                f"expected input (B, T, {self.d_model}), got {x.shape}"
+            )
+        q = self._split_heads(self.q_proj.forward(x))
+        k = self._split_heads(self.k_proj.forward(x))
+        v = self._split_heads(self.v_proj.forward(x))
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = np.einsum("bhid,bhjd->bhij", q, k) * scale
+        if self.causal:
+            t = x.shape[1]
+            mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+            scores = np.where(mask, -1e30, scores)
+        weights = softmax(scores, axis=-1)
+        attended = np.einsum("bhij,bhjd->bhid", weights, v)
+        self._cache = (q, k, v, weights, scale)
+        return self.out_proj.forward(self._merge_heads(attended))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self._require_cache(self._cache, "MultiHeadSelfAttention")
+        q, k, v, weights, scale = self._cache
+        grad_attended = self._split_heads(self.out_proj.backward(grad))
+        grad_weights = np.einsum("bhid,bhjd->bhij", grad_attended, v)
+        grad_v = np.einsum("bhij,bhid->bhjd", weights, grad_attended)
+        # Softmax backward: dL/ds = w * (dL/dw - sum_j dL/dw_j * w_j)
+        inner = (grad_weights * weights).sum(axis=-1, keepdims=True)
+        grad_scores = weights * (grad_weights - inner)
+        grad_q = np.einsum("bhij,bhjd->bhid", grad_scores, k) * scale
+        grad_k = np.einsum("bhij,bhid->bhjd", grad_scores, q) * scale
+        grad_x = self.q_proj.backward(self._merge_heads(grad_q))
+        grad_x = grad_x + self.k_proj.backward(self._merge_heads(grad_k))
+        grad_x = grad_x + self.v_proj.backward(self._merge_heads(grad_v))
+        return grad_x

@@ -1,0 +1,35 @@
+"""The expert network: a two-layer FFN (Eq. 2).
+
+``FFN(x) = W2 @ ReLU(W1 @ x + b1) + b2`` with the inner dimension
+``d_ffn`` (4x the model width in the paper's configurations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.layers import Linear, Module, ReLU
+
+
+class FFNExpert(Module):
+    """One expert: Linear -> ReLU -> Linear."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ffn: int,
+        rng: np.random.Generator,
+        name: str = "expert",
+    ) -> None:
+        self.fc1 = Linear(d_model, d_ffn, rng, f"{name}.fc1")
+        self.act = ReLU()
+        self.fc2 = Linear(d_ffn, d_model, rng, f"{name}.fc2")
+        #: Tokens processed in the lifetime of this expert (observability).
+        self.tokens_processed = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.tokens_processed += x.shape[0] if x.ndim == 2 else 0
+        return self.fc2.forward(self.act.forward(self.fc1.forward(x)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad)))

@@ -1,0 +1,53 @@
+"""Loss functions and quality metrics for the NumPy training stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.model.layers import softmax
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy and its gradient w.r.t. the logits.
+
+    Args:
+        logits: ``(N, C)`` unnormalized scores.
+        targets: ``(N,)`` integer class labels.
+
+    Returns:
+        ``(loss, grad_logits)`` where ``grad_logits`` has shape ``(N, C)``.
+    """
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ModelError("logits must be (N, C)")
+    if targets.shape != (logits.shape[0],):
+        raise ModelError("targets must be (N,) matching logits")
+    if targets.min(initial=0) < 0 or targets.max(initial=0) >= logits.shape[1]:
+        raise ModelError("target label out of range")
+    n = logits.shape[0]
+    probs = softmax(logits, axis=1)
+    nll = -np.log(np.maximum(probs[np.arange(n), targets], 1e-12))
+    grad = probs.copy()
+    grad[np.arange(n), targets] -= 1.0
+    return float(nll.mean()), grad / n
+
+
+def perplexity_from_loss(mean_nll: float) -> float:
+    """Perplexity of a mean negative log-likelihood (nats)."""
+    if mean_nll < 0:
+        raise ModelError("mean NLL must be >= 0")
+    return float(np.exp(mean_nll))
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int) -> float:
+    """Fraction of rows whose target is among the top-``k`` logits."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if not 1 <= k <= logits.shape[1]:
+        raise ModelError(f"k must be in [1, {logits.shape[1]}]")
+    top = np.argsort(-logits, axis=1, kind="stable")[:, :k]
+    return float((top == targets[:, None]).any(axis=1).mean())

@@ -1,0 +1,117 @@
+"""Minimal discrete-event simulation core.
+
+A classic priority-queue event loop. The executor uses it to interleave
+per-GPU compute/communication completions and background adjustment
+transfers on a shared clock, so overlap effects (best-effort adjustment,
+parallel transfers) emerge from event ordering rather than ad-hoc formulas.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, sequence)``; the sequence number makes
+    ordering stable for simultaneous events (FIFO among equals).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[["EventLoop"], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventLoop:
+    """Priority-queue driven simulation clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[["EventLoop"], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["EventLoop"], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(
+            time=time,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> float:
+        """Process events in time order.
+
+        Args:
+            until: Stop once the clock would pass this time (remaining
+                events stay queued). ``None`` drains the queue.
+            max_events: Guard against runaway simulations.
+
+        Returns:
+            The simulation time after the run.
+        """
+        while self._queue:
+            if self._processed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events"
+                )
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return self._now
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            self._processed += 1
+            event.callback(self)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._queue)

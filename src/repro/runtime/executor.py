@@ -1,0 +1,223 @@
+"""Ground-truth step execution ("real cost") for one MoE layer.
+
+The executor plays the synchronous timeline of a training step against the
+*true* hardware figures of the simulated cluster plus execution jitter:
+
+1. forward dispatch All-to-All  (barrier across GPUs)
+2. forward expert computation   (barrier — combine needs every GPU)
+3. forward combine All-to-All   (barrier)
+4. backward combine All-to-All  (barrier)
+5. backward expert computation  (barrier)
+6. backward dispatch All-to-All (barrier)
+7. replica-gradient AllReduce, launched in logical-id order with
+   communicator-group acquisition through the LRU cache
+
+Its timings are what the paper's Figure 6c calls "real cost"; the
+:class:`~repro.core.cost_model.MoECostModel` built on a *noisy profile*
+provides the "estimation cost". Barrier semantics make the executor's step
+time an upper bound of the cost model's per-GPU-sum (Eq. 5); for the
+straggler-dominated steps FlexMoE targets the two agree closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.collectives import CollectiveCostModel
+from repro.cluster.groups import CommunicatorGroupCache, ordered_allreduce_schedule
+from repro.cluster.topology import ClusterTopology
+from repro.config import MoEModelConfig
+from repro.core.placement import Placement
+from repro.exceptions import SimulationError
+
+#: Fraction of expert FLOPs spent in the forward pass (backward ~= 2x).
+FORWARD_FRACTION = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Measured ("real") timing of one executed step.
+
+    Attributes:
+        a2a_time: Seconds across all four All-to-All phases (barriered).
+        compute_time: Seconds across forward+backward compute (barriered).
+        sync_time: Seconds of replica AllReduce, including communicator
+            creation overheads.
+        adjustment_blocking: Seconds the adjustment queue failed to hide.
+        per_gpu_compute: Per-GPU busy compute seconds (utilization metric).
+    """
+
+    a2a_time: float
+    compute_time: float
+    sync_time: float
+    adjustment_blocking: float
+    per_gpu_compute: np.ndarray
+
+    @property
+    def step_time(self) -> float:
+        return (
+            self.a2a_time
+            + self.compute_time
+            + self.sync_time
+            + self.adjustment_blocking
+        )
+
+    @property
+    def compute_utilization(self) -> float:
+        """Mean fraction of the step each GPU spent computing (Figure 2)."""
+        step = self.step_time
+        if step == 0:
+            return 1.0
+        return float((self.per_gpu_compute / step).mean())
+
+
+class StepExecutor:
+    """Plays MoE-layer steps against ground-truth cluster figures.
+
+    Args:
+        topology: The simulated cluster.
+        model: Architecture sizing compute and message bytes.
+        jitter: Relative execution-time noise (real kernels are not
+            perfectly deterministic); 0 disables it.
+        seed: RNG seed for the jitter stream.
+        group_cache: Optional communicator cache; when given, AllReduce
+            launches pay creation overhead on cache misses.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        model: MoEModelConfig,
+        jitter: float = 0.02,
+        seed: int = 0,
+        group_cache: CommunicatorGroupCache | None = None,
+    ) -> None:
+        if jitter < 0:
+            raise SimulationError("jitter must be >= 0")
+        self._topology = topology
+        self._model = model
+        self._collectives = CollectiveCostModel(topology)
+        self._jitter = jitter
+        self._rng = np.random.default_rng(seed)
+        self._group_cache = group_cache
+        self._tps = np.array(
+            [d.tokens_per_second(model) for d in topology.devices]
+        )
+
+    @property
+    def topology(self) -> ClusterTopology:
+        return self._topology
+
+    @property
+    def model(self) -> MoEModelConfig:
+        return self._model
+
+    @property
+    def group_cache(self) -> CommunicatorGroupCache | None:
+        return self._group_cache
+
+    def _jittered(self, value: float | np.ndarray) -> float | np.ndarray:
+        if self._jitter == 0:
+            return value
+        noise = self._rng.normal(1.0, self._jitter, np.shape(value) or None)
+        return value * np.clip(noise, 0.5, 1.5)
+
+    # ------------------------------------------------------------------
+    # Individual "real" operations (Figure 6c ground truth)
+    # ------------------------------------------------------------------
+    def real_compute_time(self, tokens: float, gpu: int) -> float:
+        """Measured forward+backward compute seconds for ``tokens``."""
+        if tokens < 0:
+            raise SimulationError("tokens must be >= 0")
+        return float(self._jittered(tokens / self._tps[gpu]))
+
+    def real_a2a_pass_time(self, routes: np.ndarray) -> float:
+        """Measured seconds of ONE All-to-All pass for a route tensor."""
+        flow = np.asarray(routes, dtype=float).sum(axis=0) * self._model.token_bytes
+        np.fill_diagonal(flow, 0.0)
+        per_dst = (flow / self._topology.bandwidth_matrix).sum(axis=0)
+        return float(self._jittered(per_dst.max()) if per_dst.size else 0.0)
+
+    def real_allreduce_time(self, nbytes: float, group: tuple[int, ...]) -> float:
+        """Measured seconds for one AllReduce of ``nbytes`` over ``group``."""
+        return float(self._jittered(self._collectives.allreduce_time(nbytes, group)))
+
+    # ------------------------------------------------------------------
+    # Full step
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        routes: np.ndarray,
+        placement: Placement,
+        adjustment_blocking: float = 0.0,
+    ) -> StepTiming:
+        """Execute one step and return its measured timing.
+
+        Args:
+            routes: ``(experts, src, dst)`` token flows from the router.
+            placement: Placement the step ran under (defines sync groups).
+            adjustment_blocking: Non-overlapped adjustment seconds charged
+                to this step.
+        """
+        routes = np.asarray(routes, dtype=float)
+        if routes.ndim != 3:
+            raise SimulationError("routes must be (experts, src, dst)")
+        if adjustment_blocking < 0:
+            raise SimulationError("adjustment_blocking must be >= 0")
+
+        # --- All-to-All: dispatch + combine, forward + backward ---------
+        a2a_time = sum(self.real_a2a_pass_time(routes) for _ in range(4))
+
+        # --- Expert compute: forward barrier then backward barrier ------
+        per_gpu_tokens = routes.sum(axis=(0, 1))
+        busy = np.asarray(self._jittered(per_gpu_tokens / self._tps), dtype=float)
+        forward = float((busy * FORWARD_FRACTION).max())
+        backward = float((busy * (1 - FORWARD_FRACTION)).max())
+        compute_time = forward + backward
+
+        # --- Replica gradient AllReduce, deadlock-free launch order -----
+        sync_time = self._run_sync(placement)
+
+        return StepTiming(
+            a2a_time=a2a_time,
+            compute_time=compute_time,
+            sync_time=sync_time,
+            adjustment_blocking=adjustment_blocking,
+            per_gpu_compute=busy,
+        )
+
+    def _run_sync(self, placement: Placement) -> float:
+        """AllReduce every replicated expert's gradients, in id order.
+
+        Launches follow the logical-id schedule (Section 4's deadlock
+        avoidance). Collectives over disjoint groups overlap; a GPU in
+        multiple groups serializes its own launches — so the phase time is
+        the longest per-GPU chain of AllReduce times.
+        """
+        schedules = ordered_allreduce_schedule(placement.replica_groups())
+        if not schedules:
+            return 0.0
+        grad_bytes = self._model.expert_bytes
+        times: dict[tuple[int, ...], float] = {}
+        overhead: dict[tuple[int, ...], float] = {}
+        for launches in schedules.values():
+            for launch in launches:
+                if launch.group in times:
+                    continue
+                times[launch.group] = self.real_allreduce_time(
+                    grad_bytes, launch.group
+                )
+                if self._group_cache is not None:
+                    overhead[launch.group] = self._group_cache.acquire(launch.group)
+                else:
+                    overhead[launch.group] = 0.0
+        per_gpu_chain = {
+            rank: sum(
+                times[launch.group] + overhead[launch.group]
+                for launch in launches
+            )
+            for rank, launches in schedules.items()
+        }
+        return max(per_gpu_chain.values())

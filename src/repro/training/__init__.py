@@ -1,0 +1,31 @@
+"""End-to-end training simulation, metrics, and convergence modelling.
+
+* :mod:`repro.training.loop` — run a system over a routing trace and
+  aggregate per-step results; compare multiple systems on one workload.
+* :mod:`repro.training.metrics` — token/expert efficiency, utilization and
+  summary statistics (Figures 2, 7a).
+* :mod:`repro.training.convergence` — statistical-efficiency model mapping
+  token efficiency to iterations-to-target, coupling systems time with
+  model quality for the time-to-accuracy comparisons (Figure 5).
+* :mod:`repro.training.quality` — real NumPy MoE training for the quality
+  experiments (Table 2, Figure 2).
+"""
+
+from repro.training.convergence import ConvergenceModel
+from repro.training.loop import (
+    ComparisonResult,
+    TrainingRunResult,
+    compare_systems,
+    simulate_training,
+)
+from repro.training.metrics import EfficiencyTrajectory, summarize_run
+
+__all__ = [
+    "ComparisonResult",
+    "ConvergenceModel",
+    "EfficiencyTrajectory",
+    "TrainingRunResult",
+    "compare_systems",
+    "simulate_training",
+    "summarize_run",
+]

@@ -1,0 +1,219 @@
+"""Simulated training loops: run systems over routing traces.
+
+:func:`simulate_training` drives one system through a trace and aggregates
+the per-step results. :func:`compare_systems` builds the shared substrate
+once and runs every system on the *same* trace — the paper's methodology:
+identical model, data and hyper-parameters, differing only in the training
+system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import MoESystem, StepResult, SystemContext, build_context
+from repro.baselines.expert_parallel import ExpertParallelSystem
+from repro.baselines.fastermoe import FasterMoESystem
+from repro.baselines.flexmoe import FlexMoESystem
+from repro.baselines.swipe import SwipeSystem
+from repro.config import ClusterConfig, MoEModelConfig, WorkloadConfig
+from repro.exceptions import SimulationError
+from repro.training.convergence import ConvergenceModel
+from repro.training.metrics import (
+    EfficiencyTrajectory,
+    summarize_run,
+    trajectory_from_results,
+)
+from repro.workload.synthetic import DriftingRoutingGenerator
+from repro.workload.trace import RoutingTrace
+
+#: Factory signature for constructing a system from a context.
+SystemFactory = Callable[[SystemContext], MoESystem]
+
+#: The paper's evaluation line-up (Figure 5) plus SWIPE (Figure 7a).
+DEFAULT_SYSTEMS: tuple[SystemFactory, ...] = (
+    ExpertParallelSystem,
+    FasterMoESystem,
+    FlexMoESystem,
+)
+
+
+@dataclass(frozen=True)
+class TrainingRunResult:
+    """Aggregated outcome of one system over one trace.
+
+    Attributes:
+        system: System name.
+        results: Per-step results, in order.
+        moe_layers: Number of MoE layers the per-layer step time is scaled
+            by when reporting whole-model times.
+    """
+
+    system: str
+    results: tuple[StepResult, ...]
+    moe_layers: int = 1
+
+    @property
+    def step_times(self) -> np.ndarray:
+        return np.array([r.step_time for r in self.results])
+
+    @property
+    def mean_step_time(self) -> float:
+        return float(self.step_times.mean())
+
+    @property
+    def total_time(self) -> float:
+        return float(self.step_times.sum()) * self.moe_layers
+
+    @property
+    def mean_token_efficiency(self) -> float:
+        return float(np.mean([r.token_efficiency for r in self.results]))
+
+    @property
+    def diverted_fraction(self) -> float:
+        assigned = sum(r.assigned_tokens for r in self.results)
+        if assigned == 0:
+            return 0.0
+        return sum(r.diverted_tokens for r in self.results) / assigned
+
+    @property
+    def trajectory(self) -> EfficiencyTrajectory:
+        return trajectory_from_results(list(self.results))
+
+    def summary(self) -> dict[str, float]:
+        return summarize_run(list(self.results))
+
+    def time_to_quality(
+        self,
+        base_iterations: int,
+        convergence: ConvergenceModel | None = None,
+    ) -> float:
+        """Figure 5's metric: seconds to reach the target quality."""
+        model = convergence or ConvergenceModel()
+        return self.moe_layers * model.time_to_quality(
+            mean_step_time=self.mean_step_time,
+            base_iterations=base_iterations,
+            token_efficiency=self.mean_token_efficiency,
+            diverted_fraction=self.diverted_fraction,
+        )
+
+
+def simulate_training(
+    system: MoESystem,
+    trace: RoutingTrace,
+    moe_layers: int = 1,
+    warmup: int = 0,
+) -> TrainingRunResult:
+    """Run ``system`` over every step of ``trace``.
+
+    Args:
+        system: The training system.
+        trace: Per-step token assignments.
+        moe_layers: Whole-model scaling of per-layer times.
+        warmup: Initial steps executed but excluded from the aggregated
+            results (cold-start transient; negligible in real multi-day
+            runs but visible in short traces).
+    """
+    if moe_layers < 1:
+        raise SimulationError("moe_layers must be >= 1")
+    if not 0 <= warmup < trace.num_steps:
+        raise SimulationError(
+            f"warmup must be in [0, {trace.num_steps}), got {warmup}"
+        )
+    results = [system.step(trace.step(t), t) for t in range(trace.num_steps)]
+    return TrainingRunResult(
+        system=system.name,
+        results=tuple(results[warmup:]),
+        moe_layers=moe_layers,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Results of several systems on the same workload."""
+
+    runs: dict[str, TrainingRunResult]
+    context: SystemContext = field(repr=False, compare=False, default=None)
+
+    def __getitem__(self, system: str) -> TrainingRunResult:
+        return self.runs[system]
+
+    @property
+    def systems(self) -> tuple[str, ...]:
+        return tuple(self.runs)
+
+    def speedup(self, system: str, baseline: str = "DeepSpeed") -> float:
+        """Mean-step-time speedup of ``system`` over ``baseline``."""
+        return self.runs[baseline].mean_step_time / self.runs[system].mean_step_time
+
+    def time_to_quality_speedup(
+        self,
+        system: str,
+        baseline: str = "DeepSpeed",
+        base_iterations: int = 10_000,
+        convergence: ConvergenceModel | None = None,
+    ) -> float:
+        """Figure 5's speedup: time-to-quality ratio over ``baseline``."""
+        return self.runs[baseline].time_to_quality(
+            base_iterations, convergence
+        ) / self.runs[system].time_to_quality(base_iterations, convergence)
+
+    def summary(self) -> str:
+        """Human-readable comparison table."""
+        lines = [
+            f"{'system':<12} {'step(ms)':>9} {'tok-eff':>8} {'exp-eff':>8} "
+            f"{'util':>6} {'balance':>8}"
+        ]
+        for name, run in self.runs.items():
+            s = run.summary()
+            lines.append(
+                f"{name:<12} {1e3 * s['mean_step_time']:>9.3f} "
+                f"{s['mean_token_efficiency']:>8.3f} "
+                f"{s['mean_expert_efficiency']:>8.3f} "
+                f"{s['mean_utilization']:>6.3f} {s['mean_balance']:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_systems(
+    model: MoEModelConfig,
+    cluster: ClusterConfig,
+    workload: WorkloadConfig,
+    systems: Sequence[SystemFactory] | None = None,
+    trace: RoutingTrace | None = None,
+    moe_layers: int | None = None,
+    warmup: int = 0,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Run every system on an identical workload and substrate.
+
+    Args:
+        model: MoE architecture (also sizes the cost models).
+        cluster: Cluster shape.
+        workload: Trace parameters (ignored when ``trace`` given).
+        systems: System factories; defaults to DeepSpeed / FasterMoE /
+            FlexMoE (the Figure 5 line-up).
+        trace: Pre-generated trace to reuse across comparisons.
+        moe_layers: MoE layers for whole-model time scaling; defaults to
+            every other transformer layer (the paper's models).
+        warmup: Cold-start steps excluded from every system's aggregates.
+        seed: Substrate seed (profiling noise, executor jitter).
+    """
+    context = build_context(cluster, model, seed=seed)
+    if trace is None:
+        generator = DriftingRoutingGenerator(
+            model.num_experts, context.topology.num_gpus, workload
+        )
+        trace = generator.generate()
+    if moe_layers is None:
+        moe_layers = max(1, model.num_layers // 2)
+    runs: dict[str, TrainingRunResult] = {}
+    for factory in systems or DEFAULT_SYSTEMS:
+        system = factory(context)
+        runs[system.name] = simulate_training(
+            system, trace, moe_layers, warmup=warmup
+        )
+    return ComparisonResult(runs=runs, context=context)

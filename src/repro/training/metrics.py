@@ -1,0 +1,91 @@
+"""Efficiency metrics aggregated over simulated training runs.
+
+Defines the two axes of the paper's Figure 7a and the utilization number of
+Figure 2:
+
+* **token efficiency** — fraction of gate-assigned tokens processed by
+  their chosen expert (drops and diversions reduce it);
+* **expert efficiency** — mean-over-max GPU compute load: the share of the
+  synchronized step spent on meaningful computation;
+* **GPU utilization** — mean fraction of measured step time the GPUs spent
+  computing (includes communication overheads, unlike expert efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import StepResult
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class EfficiencyTrajectory:
+    """Per-step efficiency series for one system (Figure 7a's trajectory).
+
+    Attributes:
+        token_efficiency: Fraction in ``[0, 1]`` per step.
+        expert_efficiency: Fraction in ``(0, 1]`` per step.
+    """
+
+    token_efficiency: np.ndarray
+    expert_efficiency: np.ndarray
+
+    @property
+    def mean_token_efficiency(self) -> float:
+        return float(self.token_efficiency.mean())
+
+    @property
+    def mean_expert_efficiency(self) -> float:
+        return float(self.expert_efficiency.mean())
+
+    def endpoint(self, window: int = 10) -> tuple[float, float]:
+        """Late-training operating point: mean of the last ``window`` steps."""
+        w = min(window, len(self.token_efficiency))
+        if w == 0:
+            raise SimulationError("empty trajectory")
+        return (
+            float(self.token_efficiency[-w:].mean()),
+            float(self.expert_efficiency[-w:].mean()),
+        )
+
+    def distance_to_ideal(self, window: int = 10) -> float:
+        """Euclidean distance from the late operating point to (1, 1)."""
+        tok, exp = self.endpoint(window)
+        return float(np.hypot(1.0 - tok, 1.0 - exp))
+
+
+def trajectory_from_results(results: list[StepResult]) -> EfficiencyTrajectory:
+    """Build the per-step efficiency trajectory from step results."""
+    if not results:
+        raise SimulationError("no step results")
+    return EfficiencyTrajectory(
+        token_efficiency=np.array([r.token_efficiency for r in results]),
+        expert_efficiency=np.array([r.expert_efficiency for r in results]),
+    )
+
+
+def summarize_run(results: list[StepResult]) -> dict[str, float]:
+    """Aggregate statistics of one run, keyed by metric name."""
+    if not results:
+        raise SimulationError("no step results")
+    step_times = np.array([r.step_time for r in results])
+    return {
+        "steps": float(len(results)),
+        "mean_step_time": float(step_times.mean()),
+        "p95_step_time": float(np.percentile(step_times, 95)),
+        "total_time": float(step_times.sum()),
+        "mean_token_efficiency": float(
+            np.mean([r.token_efficiency for r in results])
+        ),
+        "mean_expert_efficiency": float(
+            np.mean([r.expert_efficiency for r in results])
+        ),
+        "mean_utilization": float(np.mean([r.utilization for r in results])),
+        "mean_balance": float(np.mean([r.balance for r in results])),
+        "dropped_tokens": float(sum(r.dropped_tokens for r in results)),
+        "diverted_tokens": float(sum(r.diverted_tokens for r in results)),
+        "scheduling_actions": float(sum(r.scheduling_actions for r in results)),
+    }

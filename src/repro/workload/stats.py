@@ -1,0 +1,139 @@
+"""Routing-trace statistics: the quantities behind Figure 3.
+
+Downstream users tuning a FlexMoE deployment need to know *how imbalanced*
+and *how fast-moving* their routing distribution is — those two properties
+decide the scheduler threshold, slot headroom and migrate cadence. This
+module computes them from any :class:`~repro.workload.trace.RoutingTrace`
+(synthetic or recorded from real training via
+:meth:`~repro.training.quality.QualityRunResult.routing_trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+from repro.workload.trace import RoutingTrace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a routing trace.
+
+    Attributes:
+        top_shares: ``top_shares[k]`` is the mean fraction of tokens taken
+            by the ``k`` heaviest experts per step, for the requested ks.
+        gini: Mean Gini coefficient of per-step expert loads (0 = uniform,
+            1 = one expert takes everything).
+        drift_rate: Mean total-variation distance between consecutive
+            steps' expert-share vectors (the smoothness of Figure 3b).
+        hot_set_churn: Fraction of the top-``k`` hot set replaced between
+            the first and last quarter of the trace.
+        steps: Trace length.
+        experts: Expert count.
+    """
+
+    top_shares: dict[int, float]
+    gini: float
+    drift_rate: float
+    hot_set_churn: float
+    steps: int
+    experts: int
+
+    def is_balanced(self, threshold: float = 0.2) -> bool:
+        """Whether the trace is near-uniform (Gini below ``threshold``)."""
+        return self.gini < threshold
+
+
+def gini_coefficient(loads: np.ndarray) -> float:
+    """Gini coefficient of a non-negative load vector."""
+    loads = np.sort(np.asarray(loads, dtype=float))
+    if loads.size == 0 or (loads < 0).any():
+        raise RoutingError("loads must be a non-empty non-negative vector")
+    total = loads.sum()
+    if total == 0:
+        return 0.0
+    n = loads.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * loads).sum()) / (n * total) - (n + 1) / n)
+
+
+def drift_rate(trace: RoutingTrace) -> float:
+    """Mean total-variation distance between consecutive share vectors."""
+    loads = trace.expert_loads().astype(float)
+    totals = loads.sum(axis=1, keepdims=True)
+    if (totals == 0).any():
+        raise RoutingError("every step must carry at least one token")
+    shares = loads / totals
+    if trace.num_steps < 2:
+        return 0.0
+    return float(0.5 * np.abs(np.diff(shares, axis=0)).sum(axis=1).mean())
+
+
+def hot_set_churn(trace: RoutingTrace, k: int = 10) -> float:
+    """Fraction of the top-``k`` set replaced from early to late training."""
+    if not 1 <= k <= trace.num_experts:
+        raise RoutingError(f"k must be in [1, {trace.num_experts}]")
+    loads = trace.expert_loads().astype(float)
+    quarter = max(1, trace.num_steps // 4)
+    early = set(np.argsort(-loads[:quarter].sum(axis=0))[:k].tolist())
+    late = set(np.argsort(-loads[-quarter:].sum(axis=0))[:k].tolist())
+    return len(early - late) / k
+
+
+def analyze_trace(
+    trace: RoutingTrace, top_ks: tuple[int, ...] | None = None
+) -> TraceStats:
+    """Full statistics bundle for a trace.
+
+    Args:
+        trace: The routing history to analyze.
+        top_ks: Hot-set sizes for the share statistics. Defaults to
+            ``(1, 5, 10)`` clipped to the trace's expert count.
+    """
+    if top_ks is None:
+        top_ks = tuple(sorted({min(k, trace.num_experts) for k in (1, 5, 10)}))
+    loads = trace.expert_loads().astype(float)
+    totals = loads.sum(axis=1, keepdims=True)
+    if (totals == 0).any():
+        raise RoutingError("every step must carry at least one token")
+    shares = loads / totals
+    sorted_desc = -np.sort(-shares, axis=1)
+    top_shares = {}
+    for k in top_ks:
+        if not 1 <= k <= trace.num_experts:
+            raise RoutingError(f"top-k {k} out of range")
+        top_shares[k] = float(sorted_desc[:, :k].sum(axis=1).mean())
+    ginis = [gini_coefficient(loads[t]) for t in range(trace.num_steps)]
+    churn_k = min(10, trace.num_experts)
+    return TraceStats(
+        top_shares=top_shares,
+        gini=float(np.mean(ginis)),
+        drift_rate=drift_rate(trace),
+        hot_set_churn=hot_set_churn(trace, churn_k),
+        steps=trace.num_steps,
+        experts=trace.num_experts,
+    )
+
+
+def recommend_scheduler_settings(stats: TraceStats) -> dict[str, float | int]:
+    """Heuristic FlexMoE settings for a measured workload.
+
+    * Threshold: tighter for stable traces (adjustments persist longer),
+      looser for fast-drifting ones (avoid chasing noise).
+    * Slot headroom: scales with the hot expert's share — the top expert
+      needs roughly ``share * total_slots`` vExperts.
+    """
+    threshold = 1.1 + min(0.3, 2.0 * stats.drift_rate)
+    # The hottest expert needs ~top1-share of all vExpert slots; with one
+    # expert per GPU nominally, that is ~top1 * experts extra slots spread
+    # over the cluster — 4x the share per GPU covers it with margin.
+    top1 = stats.top_shares.get(1, 0.0)
+    slots = max(2, int(np.ceil(4.0 * top1)) + 2)
+    return {
+        "balance_threshold": round(float(threshold), 3),
+        "slots_per_gpu": slots,
+        "migrate_period": 5 if stats.drift_rate > 0.05 else 20,
+    }

@@ -1,0 +1,230 @@
+"""Synthetic routing-distribution generators calibrated to Section 2.4.
+
+Two empirical characteristics drive FlexMoE's design (Figure 3):
+
+* **Skewness** — at any step, expert popularity follows a heavy-tailed
+  distribution: the top 10 of 64 experts absorb ~75% of the tokens.
+* **Smoothness / continuousness** — popularity drifts over training
+  (routing fluctuation) but never jumps discontinuously between adjacent
+  steps.
+
+:class:`DriftingRoutingGenerator` reproduces both: expert logits follow an
+Ornstein-Uhlenbeck random walk toward slowly *renewing* targets, so the
+instantaneous distribution stays Zipf-skewed while the identity of the hot
+experts churns smoothly over the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.exceptions import ConfigurationError
+from repro.workload.trace import RoutingTrace
+
+
+def stationary_skewed_probs(
+    num_experts: int,
+    skew: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Zipf-like expert popularity vector.
+
+    Args:
+        num_experts: Number of experts.
+        skew: Zipf exponent; 0 yields the uniform distribution and ~1.3
+            matches the paper's observed top-10/64 ~ 75% share.
+        rng: When given, the rank-to-expert mapping is randomly permuted so
+            hot experts are not always the low ids.
+
+    Returns:
+        Probability vector of length ``num_experts`` summing to 1.
+    """
+    if num_experts < 1:
+        raise ConfigurationError("num_experts must be >= 1")
+    if skew < 0:
+        raise ConfigurationError("skew must be >= 0")
+    ranks = np.arange(1, num_experts + 1, dtype=float)
+    weights = ranks**-skew
+    probs = weights / weights.sum()
+    if rng is not None:
+        probs = probs[rng.permutation(num_experts)]
+    return probs
+
+
+def top_share(probs: np.ndarray, k: int) -> float:
+    """Fraction of total load captured by the ``k`` most popular experts."""
+    probs = np.asarray(probs, dtype=float)
+    if not 1 <= k <= probs.size:
+        raise ConfigurationError(f"k must be in [1, {probs.size}], got {k}")
+    return float(np.sort(probs)[::-1][:k].sum())
+
+
+def expert_load_cdf(loads: np.ndarray) -> np.ndarray:
+    """CDF over experts sorted by descending load (Figure 3a's y-axis).
+
+    Args:
+        loads: Per-expert token counts (one step).
+
+    Returns:
+        Array ``cdf`` where ``cdf[i]`` is the cumulative share of tokens
+        handled by the ``i + 1`` heaviest experts.
+    """
+    loads = np.asarray(loads, dtype=float)
+    total = loads.sum()
+    if total <= 0:
+        raise ConfigurationError("loads must contain at least one token")
+    ordered = np.sort(loads)[::-1]
+    return np.cumsum(ordered) / total
+
+
+class DriftingRoutingGenerator:
+    """Streaming generator of smoothly drifting token assignments.
+
+    Expert logits ``z`` evolve by an Ornstein-Uhlenbeck process
+
+    ``z_{t+1} = z_t + theta * (target - z_t) + drift * noise``
+
+    where ``target`` encodes a Zipf-skewed popularity ranking that is
+    partially re-drawn on average every ``renewal_period`` steps. Softmax of
+    the logits gives the step's expert probabilities; each source GPU then
+    routes its equal share of the global batch multinomially.
+
+    Args:
+        num_experts: Experts per MoE layer.
+        num_gpus: Source GPUs feeding the layer.
+        config: Trace parameters (tokens/step, skew, drift, renewal, seed).
+        locality_bias: In ``[0, 1)``; fraction of each GPU's probability
+            mass concentrated on a GPU-specific preferred expert subset,
+            modelling data-parallel shards with slightly different input
+            distributions. 0 means all GPUs share the global distribution.
+    """
+
+    #: Mean-reversion rate of the OU process; kept < 1 for smoothness.
+    THETA = 0.08
+
+    def __init__(
+        self,
+        num_experts: int,
+        num_gpus: int,
+        config: WorkloadConfig,
+        locality_bias: float = 0.0,
+    ) -> None:
+        if num_experts < 1:
+            raise ConfigurationError("num_experts must be >= 1")
+        if num_gpus < 1:
+            raise ConfigurationError("num_gpus must be >= 1")
+        if not 0 <= locality_bias < 1:
+            raise ConfigurationError("locality_bias must be in [0, 1)")
+        self._num_experts = num_experts
+        self._num_gpus = num_gpus
+        self._config = config
+        self._locality_bias = locality_bias
+        self._rng = np.random.default_rng(config.seed)
+        base = stationary_skewed_probs(num_experts, config.skew, self._rng)
+        self._target_logits = np.log(base)
+        self._logits = self._target_logits.copy()
+        self._step_count = 0
+        self._gpu_preferences = self._rng.integers(
+            0, num_experts, size=(num_gpus, max(1, num_experts // 8))
+        )
+
+    @property
+    def num_experts(self) -> int:
+        return self._num_experts
+
+    @property
+    def num_gpus(self) -> int:
+        return self._num_gpus
+
+    def current_probs(self) -> np.ndarray:
+        """Softmax of the current logits (global expert popularity)."""
+        z = self._logits - self._logits.max()
+        p = np.exp(z)
+        return p / p.sum()
+
+    def _maybe_renew_target(self) -> None:
+        """Occasionally swap two experts' target popularity ranks.
+
+        Swapping a hot and a cold target makes a previously cold expert heat
+        up smoothly — the "from less to more" fluctuation of Figure 3b —
+        without any discontinuity in the instantaneous distribution.
+        """
+        renew_prob = 1.0 / self._config.renewal_period
+        if self._rng.random() < renew_prob:
+            a, b = self._rng.choice(self._num_experts, size=2, replace=False)
+            self._target_logits[[a, b]] = self._target_logits[[b, a]]
+
+    def _anneal_factor(self) -> float:
+        """Skew-annealing multiplier on the target logits.
+
+        Raising a softmax's logits to a power ``f`` turns a Zipf exponent
+        ``s`` into ``f * s``, so a linear ramp of the factor anneals the
+        popularity skew from ``skew`` to ``final_skew`` over the trace.
+        """
+        cfg = self._config
+        if cfg.final_skew is None or cfg.skew == 0:
+            return 1.0
+        progress = min(self._step_count / max(cfg.num_steps - 1, 1), 1.0)
+        target_factor = cfg.final_skew / cfg.skew
+        return 1.0 + (target_factor - 1.0) * progress
+
+    def _advance_logits(self) -> None:
+        self._maybe_renew_target()
+        noise = self._rng.normal(0.0, 1.0, self._num_experts)
+        target = self._anneal_factor() * self._target_logits
+        self._logits += (
+            self.THETA * (target - self._logits) + self._config.drift * noise
+        )
+        self._step_count += 1
+
+    def next_step(self) -> np.ndarray:
+        """Generate the next step's assignment matrix ``I`` of shape
+        ``(num_experts, num_gpus)``."""
+        self._advance_logits()
+        global_probs = self.current_probs()
+        per_gpu = self._config.tokens_per_step // self._num_gpus
+        remainder = self._config.tokens_per_step - per_gpu * self._num_gpus
+        assignment = np.zeros((self._num_experts, self._num_gpus), dtype=np.int64)
+        for gpu in range(self._num_gpus):
+            probs = self._gpu_probs(global_probs, gpu)
+            count = per_gpu + (1 if gpu < remainder else 0)
+            assignment[:, gpu] = self._rng.multinomial(count, probs)
+        return assignment
+
+    def _gpu_probs(self, global_probs: np.ndarray, gpu: int) -> np.ndarray:
+        if self._locality_bias == 0:
+            return global_probs
+        local = np.zeros(self._num_experts)
+        prefs = self._gpu_preferences[gpu]
+        local[prefs] = 1.0 / len(prefs)
+        mixed = (1 - self._locality_bias) * global_probs + self._locality_bias * local
+        return mixed / mixed.sum()
+
+    def generate(self, num_steps: int | None = None) -> RoutingTrace:
+        """Materialize a :class:`RoutingTrace` of ``num_steps`` steps."""
+        steps = num_steps if num_steps is not None else self._config.num_steps
+        if steps < 1:
+            raise ConfigurationError("num_steps must be >= 1")
+        frames = np.stack([self.next_step() for _ in range(steps)])
+        return RoutingTrace(frames)
+
+
+def make_trace(
+    num_experts: int,
+    num_gpus: int,
+    config: WorkloadConfig | None = None,
+    **overrides: object,
+) -> RoutingTrace:
+    """Convenience one-call trace construction.
+
+    Args:
+        num_experts: Experts per MoE layer.
+        num_gpus: Source GPUs.
+        config: Base workload config (defaults constructed if omitted).
+        **overrides: Field overrides applied to ``config``.
+    """
+    cfg = config or WorkloadConfig()
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    return DriftingRoutingGenerator(num_experts, num_gpus, cfg).generate()

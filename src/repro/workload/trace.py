@@ -1,0 +1,123 @@
+"""Routing-trace container.
+
+A :class:`RoutingTrace` records, for every training step, the token
+assignment matrix ``I`` whose entry ``I[e, g]`` is the number of tokens that
+source GPU ``g`` routes to expert ``e`` — exactly the quantity the paper's
+Scheduler monitors (Algorithm 1's input ``I``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+
+
+class RoutingTrace:
+    """Immutable per-step token-assignment history.
+
+    Args:
+        assignments: Integer array of shape
+            ``(num_steps, num_experts, num_gpus)``; entry ``[t, e, g]`` is
+            the number of tokens GPU ``g`` sends to expert ``e`` at step
+            ``t``.
+    """
+
+    def __init__(self, assignments: np.ndarray) -> None:
+        arr = np.asarray(assignments)
+        if arr.ndim != 3:
+            raise RoutingError(
+                f"assignments must have shape (steps, experts, gpus); "
+                f"got ndim={arr.ndim}"
+            )
+        if arr.size and arr.min() < 0:
+            raise RoutingError("token counts must be non-negative")
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.allclose(arr, np.round(arr)):
+                raise RoutingError("token counts must be integral")
+            arr = np.round(arr).astype(np.int64)
+        self._assignments = arr.astype(np.int64, copy=True)
+        self._assignments.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        return self._assignments.shape[0]
+
+    @property
+    def num_experts(self) -> int:
+        return self._assignments.shape[1]
+
+    @property
+    def num_gpus(self) -> int:
+        return self._assignments.shape[2]
+
+    def __len__(self) -> int:
+        return self.num_steps
+
+    # ------------------------------------------------------------------
+    # Step access
+    # ------------------------------------------------------------------
+    def step(self, t: int) -> np.ndarray:
+        """Assignment matrix ``I`` of shape ``(experts, gpus)`` at step ``t``."""
+        if not 0 <= t < self.num_steps:
+            raise RoutingError(f"step {t} out of range [0, {self.num_steps})")
+        return self._assignments[t]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for t in range(self.num_steps):
+            yield self._assignments[t]
+
+    def expert_loads(self, t: int | None = None) -> np.ndarray:
+        """Per-expert total token counts.
+
+        Args:
+            t: A single step, or ``None`` for the full
+                ``(steps, experts)`` history.
+        """
+        if t is None:
+            return self._assignments.sum(axis=2)
+        return self.step(t).sum(axis=1)
+
+    def tokens_per_step(self) -> np.ndarray:
+        """Total token count of each step."""
+        return self._assignments.sum(axis=(1, 2))
+
+    def slice(self, start: int, stop: int) -> "RoutingTrace":
+        """Sub-trace covering steps ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.num_steps:
+            raise RoutingError(
+                f"invalid slice [{start}, {stop}) for {self.num_steps} steps"
+            )
+        return RoutingTrace(self._assignments[start:stop])
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the trace as a compressed ``.npz`` file."""
+        np.savez_compressed(Path(path), assignments=self._assignments)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RoutingTrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            if "assignments" not in data:
+                raise RoutingError(f"{path} is not a routing trace file")
+            return cls(data["assignments"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoutingTrace):
+            return NotImplemented
+        return np.array_equal(self._assignments, other._assignments)
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingTrace(steps={self.num_steps}, experts={self.num_experts}, "
+            f"gpus={self.num_gpus})"
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for collective communication cost models."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+
+
+class TestP2P:
+    def test_zero_bytes_free(self, collectives):
+        assert collectives.p2p_time(0, 0, 4) == 0.0
+
+    def test_local_copy_free(self, collectives):
+        assert collectives.p2p_time(1e9, 2, 2) == 0.0
+
+    def test_inter_node_slower_than_intra(self, collectives):
+        intra = collectives.p2p_time(1e8, 0, 1)
+        inter = collectives.p2p_time(1e8, 0, 4)
+        assert inter > intra
+
+    def test_monotone_in_bytes(self, collectives):
+        assert collectives.p2p_time(2e8, 0, 4) > collectives.p2p_time(1e8, 0, 4)
+
+    def test_negative_bytes_rejected(self, collectives):
+        with pytest.raises(TopologyError):
+            collectives.p2p_time(-1, 0, 1)
+
+
+class TestAllReduce:
+    def test_single_member_free(self, collectives):
+        assert collectives.allreduce_time(1e9, [3]) == 0.0
+
+    def test_grows_with_bytes(self, collectives):
+        small = collectives.allreduce_time(1e7, [0, 1, 4])
+        large = collectives.allreduce_time(1e8, [0, 1, 4])
+        assert large > small
+
+    def test_cross_node_group_slower(self, collectives):
+        intra = collectives.allreduce_time(1e8, [0, 1, 2])
+        inter = collectives.allreduce_time(1e8, [0, 1, 4])
+        assert inter > intra
+
+    def test_ring_scaling_factor(self, collectives, cluster_config):
+        """time ~= 2(n-1)/n * bytes / bottleneck for large payloads."""
+        nbytes = 1e9
+        time = collectives.allreduce_time(nbytes, [0, 1])
+        expected = 2 * (1 / 2) * nbytes / cluster_config.intra_node_bandwidth
+        assert time == pytest.approx(expected, rel=0.01)
+
+    def test_duplicate_members_deduped(self, collectives):
+        a = collectives.allreduce_time(1e8, [0, 1, 1, 4])
+        b = collectives.allreduce_time(1e8, [0, 1, 4])
+        assert a == b
+
+    def test_empty_group_rejected(self, collectives):
+        with pytest.raises(TopologyError):
+            collectives.allreduce_time(1e8, [])
+
+    def test_bps_singleton_is_local(self, collectives, topology):
+        assert collectives.allreduce_bps([2]) == topology.LOCAL_COPY_BANDWIDTH
+
+    def test_bps_larger_groups_slower(self, collectives):
+        pair = collectives.allreduce_bps([0, 1])
+        eight = collectives.allreduce_bps(list(range(8)))
+        assert eight < pair
+
+
+class TestBroadcast:
+    def test_root_only_free(self, collectives):
+        assert collectives.broadcast_time(1e8, 0, [0]) == 0.0
+
+    def test_pipelined_cost_near_bottleneck(self, collectives, cluster_config):
+        nbytes = 1e9
+        time = collectives.broadcast_time(nbytes, 0, list(range(8)))
+        assert time == pytest.approx(
+            nbytes / cluster_config.inter_node_bandwidth, rel=0.01
+        )
+
+    def test_negative_bytes_rejected(self, collectives):
+        with pytest.raises(TopologyError):
+            collectives.broadcast_time(-5, 0, [0, 1])

@@ -1,0 +1,76 @@
+"""Unit tests for the cluster topology and device model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import Device
+from repro.cluster.topology import ClusterTopology
+from repro.config import ClusterConfig, DeviceSpec, MoEModelConfig
+from repro.exceptions import TopologyError
+
+
+class TestDevice:
+    def test_memory_capacity_positive(self):
+        model = MoEModelConfig("m", 2, 64, 256, 4)
+        device = Device(0, 0, 0, DeviceSpec())
+        assert device.expert_memory_capacity(model) >= 1
+
+    def test_str(self):
+        device = Device(9, 1, 1, DeviceSpec())
+        assert "gpu9" in str(device)
+
+
+class TestClusterTopology:
+    def test_device_enumeration(self, topology):
+        assert topology.num_gpus == 8
+        assert [d.index for d in topology.devices] == list(range(8))
+        assert topology.devices[5].node == 1
+        assert topology.devices[5].local_rank == 1
+
+    def test_same_node(self, topology):
+        assert topology.same_node(0, 3)
+        assert not topology.same_node(0, 4)
+
+    def test_bandwidth_intra_vs_inter(self, topology, cluster_config):
+        assert topology.bandwidth(0, 1) == cluster_config.intra_node_bandwidth
+        assert topology.bandwidth(0, 4) == cluster_config.inter_node_bandwidth
+        assert topology.bandwidth(0, 0) == ClusterTopology.LOCAL_COPY_BANDWIDTH
+
+    def test_bandwidth_symmetric(self, topology):
+        bw = topology.bandwidth_matrix
+        assert np.array_equal(bw, bw.T)
+
+    def test_latency_zero_on_diagonal(self, topology):
+        assert topology.latency(2, 2) == 0.0
+        assert topology.latency(0, 4) > topology.latency(0, 1)
+
+    def test_gpus_on_node(self, topology):
+        assert topology.gpus_on_node(1) == (4, 5, 6, 7)
+        with pytest.raises(TopologyError):
+            topology.gpus_on_node(5)
+
+    def test_nodes_spanned(self, topology):
+        assert topology.nodes_spanned([0, 1]) == (0,)
+        assert topology.nodes_spanned([1, 6]) == (0, 1)
+
+    def test_min_group_bandwidth(self, topology, cluster_config):
+        intra = topology.min_group_bandwidth([0, 1, 2])
+        inter = topology.min_group_bandwidth([0, 1, 5])
+        assert intra == cluster_config.intra_node_bandwidth
+        assert inter == cluster_config.inter_node_bandwidth
+
+    def test_min_group_bandwidth_singleton(self, topology):
+        assert (
+            topology.min_group_bandwidth([3])
+            == ClusterTopology.LOCAL_COPY_BANDWIDTH
+        )
+
+    def test_min_group_bandwidth_empty_rejected(self, topology):
+        with pytest.raises(TopologyError):
+            topology.min_group_bandwidth([])
+
+    def test_unknown_gpu_rejected(self, topology):
+        with pytest.raises(TopologyError):
+            topology.bandwidth(0, 99)
+        with pytest.raises(TopologyError):
+            topology.device(-1)

@@ -1,0 +1,124 @@
+"""Unit tests for the Expand / Shrink / Migrate primitives."""
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.core.primitives import (
+    Expand,
+    Migrate,
+    Shrink,
+    apply_actions,
+    can_merge,
+    can_parallelize,
+)
+from repro.exceptions import PlacementError
+
+
+@pytest.fixture
+def four_by_four() -> Placement:
+    return Placement.balanced(4, 4, 2)
+
+
+class TestExpand:
+    def test_apply_adds_replica(self, four_by_four):
+        p = four_by_four
+        gpu = p.gpus_of(1)[0]
+        Shrink(expert=1, gpu=gpu).apply(p)
+        source = p.gpus_of(0)[0]
+        Expand(expert=0, gpu=gpu, source_gpu=source).apply(p)
+        assert p.count(0, gpu) >= 1
+
+    def test_source_must_hold_expert(self, four_by_four):
+        p = four_by_four
+        gpu = p.gpus_of(1)[0]
+        Shrink(expert=1, gpu=gpu).apply(p)
+        bad_source = next(
+            g for g in range(4) if p.count(0, g) == 0
+        )
+        with pytest.raises(PlacementError):
+            Expand(expert=0, gpu=gpu, source_gpu=bad_source).apply(p)
+
+    def test_intra_gpu_expand_free(self, model_config, collectives):
+        action = Expand(expert=0, gpu=1, source_gpu=1)
+        assert action.transfer_bytes(model_config) == 0
+        assert action.cost(model_config, collectives) == 0.0
+
+    def test_inter_gpu_expand_costs_state_transfer(
+        self, model_config, collectives
+    ):
+        action = Expand(expert=0, gpu=4, source_gpu=0)
+        assert action.transfer_bytes(model_config) == model_config.expert_state_bytes
+        assert action.cost(model_config, collectives) > 0
+
+
+class TestShrink:
+    def test_zero_cost(self, model_config, collectives):
+        action = Shrink(expert=0, gpu=0)
+        assert action.transfer_bytes(model_config) == 0
+        assert action.cost(model_config, collectives) == 0.0
+
+    def test_cannot_remove_last_replica(self):
+        p = Placement.expert_parallel(4, 4)
+        with pytest.raises(PlacementError):
+            Shrink(expert=0, gpu=0).apply(p)
+
+
+class TestMigrate:
+    def test_swap_applies(self, four_by_four):
+        p = four_by_four
+        e_a, e_b = 0, 1
+        gpu_a = p.gpus_of(e_a)[0]
+        gpu_b = next(g for g in p.gpus_of(e_b) if g != gpu_a)
+        Migrate(expert_a=e_a, gpu_a=gpu_a, expert_b=e_b, gpu_b=gpu_b).apply(p)
+        assert p.count(e_a, gpu_b) >= 1
+        assert p.count(e_b, gpu_a) >= 1
+
+    def test_cost_is_slower_direction(self, model_config, collectives):
+        action = Migrate(expert_a=0, gpu_a=0, expert_b=1, gpu_b=4)
+        expected = collectives.p2p_time(
+            model_config.expert_state_bytes, 0, 4
+        )
+        assert action.cost(model_config, collectives) == pytest.approx(expected)
+
+    def test_transfer_bytes_both_directions(self, model_config):
+        action = Migrate(expert_a=0, gpu_a=0, expert_b=1, gpu_b=4)
+        assert action.transfer_bytes(model_config) == (
+            2 * model_config.expert_state_bytes
+        )
+
+
+class TestApplyActions:
+    def test_sequence_validates_final_state(self, four_by_four):
+        p = four_by_four
+        gpu = p.gpus_of(3)[0]
+        source = p.gpus_of(0)[0]
+        apply_actions(
+            p,
+            [Shrink(expert=3, gpu=gpu), Expand(expert=0, gpu=gpu, source_gpu=source)],
+        )
+        assert p.counts.sum() == 8  # slot count conserved
+
+
+class TestQueueAnalysis:
+    def test_merge_same_endpoints(self):
+        a = Expand(expert=0, gpu=3, source_gpu=1)
+        b = Expand(expert=5, gpu=3, source_gpu=1)
+        assert can_merge(a, b)
+
+    def test_no_merge_for_shrink(self):
+        assert not can_merge(Shrink(0, 1), Shrink(2, 1))
+
+    def test_parallelize_disjoint_endpoints(self):
+        a = Expand(expert=0, gpu=1, source_gpu=0)
+        b = Expand(expert=1, gpu=3, source_gpu=2)
+        assert can_parallelize(a, b)
+
+    def test_no_parallelize_shared_endpoint(self):
+        a = Expand(expert=0, gpu=1, source_gpu=0)
+        b = Migrate(expert_a=1, gpu_a=1, expert_b=2, gpu_b=2)
+        assert not can_parallelize(a, b)
+
+    def test_shrink_always_parallel_safe(self):
+        a = Shrink(expert=0, gpu=1)
+        b = Expand(expert=1, gpu=1, source_gpu=0)
+        assert can_parallelize(a, b)

@@ -1,0 +1,143 @@
+"""Unit tests for attention and the Top-K gate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.attention import MultiHeadSelfAttention
+from repro.model.gate import TopKGate
+
+
+class TestAttention:
+    def test_shapes(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng)
+        x = rng.normal(0, 1, (2, 5, 16))
+        assert attn.forward(x).shape == (2, 5, 16)
+
+    def test_heads_must_divide(self, rng):
+        with pytest.raises(ModelError):
+            MultiHeadSelfAttention(10, 3, rng)
+
+    def test_causal_mask_blocks_future(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng, causal=True)
+        x = rng.normal(0, 1, (1, 4, 8))
+        base = attn.forward(x.copy())
+        x2 = x.copy()
+        x2[0, 3] += 100.0  # perturb the last position only
+        out2 = attn.forward(x2)
+        np.testing.assert_allclose(base[0, :3], out2[0, :3], atol=1e-8)
+        assert not np.allclose(base[0, 3], out2[0, 3])
+
+    def test_noncausal_attends_everywhere(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng, causal=False)
+        x = rng.normal(0, 1, (1, 4, 8))
+        base = attn.forward(x.copy())
+        x2 = x.copy()
+        x2[0, 3] += 100.0
+        out2 = attn.forward(x2)
+        assert not np.allclose(base[0, 0], out2[0, 0])
+
+    def test_input_gradient_numeric(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(0, 1, (1, 3, 8))
+        w = rng.normal(0, 1, (1, 3, 8))
+
+        def loss():
+            return float((attn.forward(x) * w).sum())
+
+        attn.forward(x)
+        analytic = attn.backward(w)
+        eps = 1e-6
+        idxs = [(0, 0, 1), (0, 1, 4), (0, 2, 7)]
+        for idx in idxs:
+            old = x[idx]
+            x[idx] = old + eps
+            up = loss()
+            x[idx] = old - eps
+            down = loss()
+            x[idx] = old
+            numeric = (up - down) / (2 * eps)
+            assert analytic[idx] == pytest.approx(numeric, abs=1e-5)
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ModelError):
+            MultiHeadSelfAttention(8, 2, rng).forward(np.zeros((3, 8)))
+
+
+class TestTopKGate:
+    def test_weights_sum_to_one(self, rng):
+        gate = TopKGate(8, 4, 2, 0.0, rng)
+        weights, indices = gate.forward(rng.normal(0, 1, (16, 8)))
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+        assert indices.shape == (16, 2)
+
+    def test_indices_are_topk_of_logits(self, rng):
+        gate = TopKGate(8, 4, 1, 0.0, rng)
+        x = rng.normal(0, 1, (10, 8))
+        _, indices = gate.forward(x)
+        logits = x @ gate.w_gate.data
+        np.testing.assert_array_equal(indices[:, 0], logits.argmax(axis=1))
+
+    def test_stats_counts(self, rng):
+        gate = TopKGate(8, 4, 2, 0.0, rng)
+        gate.forward(rng.normal(0, 1, (20, 8)))
+        stats = gate.last_stats
+        assert stats.expert_counts.sum() == 40  # 20 tokens x top-2
+        assert stats.top1_counts.sum() == 20
+
+    def test_balance_loss_uniform_is_one(self, rng):
+        gate = TopKGate(8, 4, 1, 0.0, rng)
+        # With symmetric random inputs, aux ~ 1 (uniform baseline).
+        gate.forward(rng.normal(0, 0.01, (4000, 8)))
+        assert gate.last_stats.balance_loss == pytest.approx(1.0, abs=0.15)
+
+    def test_balance_loss_skewed_above_one(self, rng):
+        gate = TopKGate(8, 4, 1, 0.0, rng)
+        x = rng.normal(0, 0.1, (200, 8))
+        gate.w_gate.data[:, 0] = 3.0  # force expert 0 to win everything
+        gate.forward(x + 1.0)
+        assert gate.last_stats.balance_loss > 1.5
+
+    def test_balance_gradient_reduces_aux_loss(self, rng):
+        gate = TopKGate(8, 8, 2, balance_coef=1.0, rng=rng)
+        gate.w_gate.data[:, 0] = 1.0  # start skewed
+        x = rng.normal(0, 1, (256, 8)) + 0.5
+        before = None
+        for _ in range(30):
+            gate.forward(x)
+            if before is None:
+                before = gate.last_stats.balance_loss
+            gate.zero_grad()
+            gate.backward(np.zeros((256, 2)))  # only balance-loss gradient
+            gate.w_gate.data -= 0.5 * gate.w_gate.grad
+        gate.forward(x)
+        assert gate.last_stats.balance_loss < before
+
+    def test_input_gradient_numeric(self, rng):
+        gate = TopKGate(6, 4, 2, balance_coef=0.0, rng=rng)
+        x = rng.normal(0, 1, (5, 6))
+        w = rng.normal(0, 1, (5, 2))
+
+        def loss():
+            weights, _ = gate.forward(x)
+            return float((weights * w).sum())
+
+        gate.forward(x)
+        analytic = gate.backward(w)
+        eps = 1e-6
+        for idx in [(0, 0), (2, 3), (4, 5)]:
+            old = x[idx]
+            x[idx] = old + eps
+            up = loss()
+            x[idx] = old - eps
+            down = loss()
+            x[idx] = old
+            assert analytic[idx] == pytest.approx(
+                (up - down) / (2 * eps), abs=1e-5
+            )
+
+    def test_validation(self, rng):
+        with pytest.raises(ModelError):
+            TopKGate(8, 4, 5, 0.0, rng)
+        with pytest.raises(ModelError):
+            TopKGate(8, 4, 2, -1.0, rng)

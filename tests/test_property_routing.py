@@ -1,0 +1,124 @@
+"""Property-based tests: routing and placement invariants.
+
+These encode the invariants DESIGN.md commits to:
+
+* routing conservation (100% token efficiency of the router);
+* per-vExpert capacity bounds;
+* placement validity under arbitrary action sequences;
+* slot conservation under paired Expand/Shrink.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import Placement
+from repro.core.router import FlexibleTokenRouter, validate_conservation
+from repro.exceptions import PlacementError
+
+
+def placements(max_experts=12, max_gpus=8, max_slots=3):
+    """Strategy producing valid random placements."""
+
+    @st.composite
+    def build(draw):
+        num_gpus = draw(st.integers(1, max_gpus))
+        max_e = num_gpus * max_slots
+        num_experts = draw(st.integers(1, min(max_experts, max_e)))
+        slots = draw(st.integers(
+            max(1, -(-num_experts // num_gpus)), max_slots
+        ))
+        placement = Placement.balanced(num_experts, num_gpus, slots)
+        # Random mutation walk to diversify beyond the balanced layout.
+        rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+        for _ in range(draw(st.integers(0, 10))):
+            kind = rng.integers(0, 2)
+            try:
+                if kind == 0:
+                    e = int(rng.integers(0, num_experts))
+                    gpus = placement.gpus_of(e)
+                    src = int(rng.choice(gpus))
+                    dst = int(rng.integers(0, num_gpus))
+                    if dst != src and placement.free_slots(dst) > 0:
+                        placement.move_vexpert(e, src, dst)
+                else:
+                    e = int(rng.integers(0, num_experts))
+                    victim = int(rng.integers(0, num_experts))
+                    if victim != e:
+                        v_gpus = placement.gpus_of(victim)
+                        g = int(rng.choice(v_gpus))
+                        placement.remove_vexpert(victim, g)
+                        placement.add_vexpert(e, g)
+            except PlacementError:
+                continue
+        return placement
+
+    return build()
+
+
+def assignments_for(placement, max_tokens=5000):
+    return st.lists(
+        st.integers(0, max_tokens),
+        min_size=placement.num_experts * placement.num_gpus,
+        max_size=placement.num_experts * placement.num_gpus,
+    ).map(
+        lambda flat: np.array(flat, dtype=np.int64).reshape(
+            placement.num_experts, placement.num_gpus
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_router_conserves_every_token(data):
+    placement = data.draw(placements())
+    assignment = data.draw(assignments_for(placement))
+    plan = FlexibleTokenRouter().route(assignment, placement)
+    validate_conservation(assignment, plan)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_router_respects_vexpert_capacity(data):
+    placement = data.draw(placements())
+    assignment = data.draw(assignments_for(placement))
+    plan = FlexibleTokenRouter().route(assignment, placement)
+    counts = placement.counts
+    arrivals = plan.arrivals
+    for e in range(placement.num_experts):
+        cap = plan.capacities[e]
+        if cap == 0:
+            continue
+        assert (arrivals[e] <= cap * counts[e]).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_router_never_routes_to_gpu_without_replica(data):
+    placement = data.draw(placements())
+    assignment = data.draw(assignments_for(placement))
+    plan = FlexibleTokenRouter().route(assignment, placement)
+    counts = placement.counts
+    arrivals = plan.arrivals
+    assert (arrivals[counts == 0] == 0).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_fractional_routing_conserves_and_bounds(data):
+    placement = data.draw(placements())
+    assignment = data.draw(assignments_for(placement))
+    routes = FlexibleTokenRouter().route_fractional(assignment, placement)
+    assert np.allclose(routes.sum(axis=2), assignment)
+    assert (routes >= -1e-9).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_placement_walk_preserves_invariants(data):
+    placement = data.draw(placements())
+    placement.validate()
+    per_expert = placement.replica_counts()
+    assert (per_expert >= 1).all()
+    total = placement.counts.sum()
+    assert total <= placement.total_slots

@@ -1,0 +1,76 @@
+"""Property-based tests: scheduler / balance / SWIPE invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.expert_parallel import apply_capacity
+from repro.baselines.swipe import rebalance_strict
+from repro.core.balance import balance_ratio, gpu_loads_even_split
+from repro.core.placement import Placement
+
+
+def small_assignments(num_experts=8, num_gpus=4, max_tokens=3000):
+    return st.lists(
+        st.integers(0, max_tokens),
+        min_size=num_experts * num_gpus,
+        max_size=num_experts * num_gpus,
+    ).map(lambda f: np.array(f, dtype=np.int64).reshape(num_experts, num_gpus))
+
+
+@settings(max_examples=80, deadline=None)
+@given(assignment=small_assignments())
+def test_balance_ratio_at_least_one(assignment):
+    placement = Placement.balanced(8, 4, 2)
+    loads = gpu_loads_even_split(assignment, placement)
+    assert balance_ratio(loads) >= 1.0 - 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(assignment=small_assignments(), capacity=st.integers(1, 5000))
+def test_capacity_truncation_bounds_every_expert(assignment, capacity):
+    capped, dropped = apply_capacity(assignment, capacity)
+    assert (capped.sum(axis=1) <= capacity).all()
+    assert (capped >= 0).all()
+    assert (capped <= assignment).all()
+    assert dropped == assignment.sum() - capped.sum()
+
+
+@settings(max_examples=80, deadline=None)
+@given(assignment=small_assignments())
+def test_swipe_conserves_totals_and_balances(assignment):
+    balanced, diverted = rebalance_strict(assignment)
+    # Token conservation: global and per source GPU.
+    assert balanced.sum() == assignment.sum()
+    np.testing.assert_array_equal(
+        balanced.sum(axis=0), assignment.sum(axis=0)
+    )
+    # Strict balance: expert totals within 1 token.
+    totals = balanced.sum(axis=1)
+    if assignment.sum() > 0:
+        assert totals.max() - totals.min() <= 1
+    # Diversion accounting is non-negative and bounded.
+    assert 0 <= diverted <= assignment.sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    assignment=small_assignments(),
+    seed=st.integers(0, 1000),
+)
+def test_even_split_loads_sum_to_total(assignment, seed):
+    rng = np.random.default_rng(seed)
+    placement = Placement.balanced(8, 4, 2)
+    # random placement walk
+    for _ in range(5):
+        e = int(rng.integers(0, 8))
+        victim = int(rng.integers(0, 8))
+        if victim == e:
+            continue
+        gpus = placement.gpus_of(victim)
+        if placement.replicas(victim) > 1:
+            g = int(rng.choice(gpus))
+            placement.remove_vexpert(victim, g)
+            placement.add_vexpert(e, g)
+    loads = gpu_loads_even_split(assignment, placement)
+    assert loads.sum() == pytest.approx(assignment.sum())

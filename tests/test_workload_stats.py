@@ -1,0 +1,131 @@
+"""Unit tests for routing-trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.exceptions import RoutingError
+from repro.workload.stats import (
+    analyze_trace,
+    drift_rate,
+    gini_coefficient,
+    hot_set_churn,
+    recommend_scheduler_settings,
+)
+from repro.workload.synthetic import make_trace
+from repro.workload.trace import RoutingTrace
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(8, 100.0)) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        loads = np.zeros(64)
+        loads[0] = 1000
+        assert gini_coefficient(loads) > 0.9
+
+    def test_monotone_in_skew(self):
+        mild = gini_coefficient(np.array([4.0, 3.0, 2.0, 1.0]))
+        harsh = gini_coefficient(np.array([10.0, 1.0, 1.0, 1.0]))
+        assert harsh > mild
+
+    def test_zero_total_is_zero(self):
+        assert gini_coefficient(np.zeros(4)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(RoutingError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+
+class TestDriftAndChurn:
+    def test_static_trace_has_zero_drift(self):
+        frame = np.full((4, 2), 10, dtype=np.int64)
+        trace = RoutingTrace(np.stack([frame] * 5))
+        assert drift_rate(trace) == 0.0
+
+    def test_alternating_trace_has_high_drift(self):
+        a = np.array([[20, 20], [0, 0]], dtype=np.int64)
+        b = np.array([[0, 0], [20, 20]], dtype=np.int64)
+        trace = RoutingTrace(np.stack([a, b, a, b]))
+        assert drift_rate(trace) == pytest.approx(1.0)
+
+    def test_churn_zero_for_static_hot_set(self):
+        frame = np.zeros((8, 2), dtype=np.int64)
+        frame[0] = 100
+        frame[1] = 50
+        trace = RoutingTrace(np.stack([frame] * 8))
+        assert hot_set_churn(trace, k=2) == 0.0
+
+    def test_churn_detects_swap(self):
+        early = np.zeros((4, 1), dtype=np.int64)
+        early[0, 0] = 100
+        early[1, 0] = 1
+        late = np.zeros((4, 1), dtype=np.int64)
+        late[2, 0] = 100
+        late[3, 0] = 1
+        trace = RoutingTrace(np.stack([early] * 4 + [late] * 4))
+        assert hot_set_churn(trace, k=1) == 1.0
+
+    def test_churn_k_validation(self):
+        trace = make_trace(4, 2, WorkloadConfig(tokens_per_step=100, num_steps=3))
+        with pytest.raises(RoutingError):
+            hot_set_churn(trace, k=9)
+
+
+class TestAnalyzeTrace:
+    def test_full_bundle(self):
+        trace = make_trace(
+            16, 4,
+            WorkloadConfig(tokens_per_step=100_000, num_steps=20, skew=1.3,
+                           seed=1),
+        )
+        stats = analyze_trace(trace, top_ks=(1, 5))
+        assert set(stats.top_shares) == {1, 5}
+        assert 0 < stats.top_shares[1] < stats.top_shares[5] <= 1
+        assert 0 < stats.gini < 1
+        assert stats.drift_rate >= 0
+        assert stats.steps == 20
+        assert not stats.is_balanced(threshold=0.1)
+
+    def test_uniform_trace_is_balanced(self):
+        frame = np.full((8, 4), 25, dtype=np.int64)
+        trace = RoutingTrace(np.stack([frame] * 4))
+        stats = analyze_trace(trace)
+        assert stats.is_balanced()
+        assert stats.gini == pytest.approx(0.0)
+
+    def test_rejects_bad_topk(self):
+        trace = make_trace(4, 2, WorkloadConfig(tokens_per_step=100, num_steps=3))
+        with pytest.raises(RoutingError):
+            analyze_trace(trace, top_ks=(9,))
+
+
+class TestRecommendations:
+    def test_settings_shape(self):
+        trace = make_trace(
+            32, 8,
+            WorkloadConfig(tokens_per_step=500_000, num_steps=15, skew=1.3,
+                           seed=0),
+        )
+        settings = recommend_scheduler_settings(analyze_trace(trace))
+        assert settings["balance_threshold"] >= 1.1
+        assert settings["slots_per_gpu"] >= 2
+        assert settings["migrate_period"] in (5, 20)
+
+    def test_fast_drift_raises_threshold(self):
+        stable = make_trace(
+            8, 2,
+            WorkloadConfig(tokens_per_step=100_000, num_steps=10, drift=0.0,
+                           seed=0),
+        )
+        volatile = make_trace(
+            8, 2,
+            WorkloadConfig(tokens_per_step=100_000, num_steps=10, drift=0.6,
+                           seed=0),
+        )
+        s_stable = recommend_scheduler_settings(analyze_trace(stable))
+        s_volatile = recommend_scheduler_settings(analyze_trace(volatile))
+        assert (
+            s_volatile["balance_threshold"] >= s_stable["balance_threshold"]
+        )

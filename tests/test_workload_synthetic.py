@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic routing generators (Figure 3 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.exceptions import ConfigurationError
+from repro.workload.synthetic import (
+    DriftingRoutingGenerator,
+    expert_load_cdf,
+    make_trace,
+    stationary_skewed_probs,
+    top_share,
+)
+
+
+class TestStationaryProbs:
+    def test_sums_to_one(self):
+        assert stationary_skewed_probs(64, 1.3).sum() == pytest.approx(1.0)
+
+    def test_zero_skew_uniform(self):
+        probs = stationary_skewed_probs(8, 0.0)
+        assert np.allclose(probs, 1 / 8)
+
+    def test_paper_calibration_top10_of_64(self):
+        """Figure 3a: top-10 of 64 experts receive ~75% of tokens."""
+        probs = stationary_skewed_probs(64, 1.3)
+        assert 0.70 <= top_share(probs, 10) <= 0.80
+
+    def test_permutation_preserves_distribution(self):
+        rng = np.random.default_rng(0)
+        probs = stationary_skewed_probs(16, 1.0, rng)
+        expected = stationary_skewed_probs(16, 1.0)
+        assert np.allclose(np.sort(probs), np.sort(expected))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            stationary_skewed_probs(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            stationary_skewed_probs(4, -1.0)
+
+
+class TestCdfHelpers:
+    def test_cdf_monotone_and_ends_at_one(self):
+        cdf = expert_load_cdf(np.array([5, 1, 3, 1]))
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_rejects_empty_load(self):
+        with pytest.raises(ConfigurationError):
+            expert_load_cdf(np.zeros(4))
+
+    def test_top_share_bounds(self):
+        with pytest.raises(ConfigurationError):
+            top_share(np.ones(4) / 4, 0)
+
+
+class TestDriftingGenerator:
+    def make(self, **overrides):
+        defaults = dict(tokens_per_step=10_000, num_steps=20, seed=5)
+        defaults.update(overrides)
+        cfg = WorkloadConfig(**defaults)
+        return DriftingRoutingGenerator(16, 4, cfg)
+
+    def test_step_conserves_tokens(self):
+        gen = self.make()
+        frame = gen.next_step()
+        assert frame.shape == (16, 4)
+        assert frame.sum() == 10_000
+
+    def test_uneven_token_count_distributed(self):
+        cfg = WorkloadConfig(tokens_per_step=10_001, num_steps=5, seed=0)
+        gen = DriftingRoutingGenerator(8, 4, cfg)
+        assert gen.next_step().sum() == 10_001
+
+    def test_generate_trace_shape(self):
+        trace = self.make().generate()
+        assert trace.num_steps == 20
+        assert trace.num_experts == 16
+        assert trace.num_gpus == 4
+
+    def test_deterministic_given_seed(self):
+        a = self.make(seed=9).generate(5)
+        b = self.make(seed=9).generate(5)
+        assert a == b
+
+    def test_smoothness_between_consecutive_steps(self):
+        """Figure 3b: loads change smoothly, not discontinuously."""
+        trace = self.make(tokens_per_step=100_000, drift=0.05).generate(30)
+        loads = trace.expert_loads().astype(float)
+        shares = loads / loads.sum(axis=1, keepdims=True)
+        step_changes = np.abs(np.diff(shares, axis=0)).sum(axis=1)
+        assert step_changes.max() < 0.25
+
+    def test_skew_annealing_reduces_concentration(self):
+        hot_start = self.make(
+            tokens_per_step=100_000, skew=1.3, final_skew=0.3, num_steps=60
+        )
+        trace = hot_start.generate(60)
+        early = top_share(trace.expert_loads(2).astype(float) / 100_000, 3)
+        late = top_share(trace.expert_loads(59).astype(float) / 100_000, 3)
+        assert late < early
+
+    def test_locality_bias_validated(self):
+        with pytest.raises(ConfigurationError):
+            DriftingRoutingGenerator(4, 2, WorkloadConfig(), locality_bias=1.5)
+
+    def test_make_trace_helper(self):
+        trace = make_trace(8, 4, num_steps=3, tokens_per_step=1000, seed=1)
+        assert trace.num_steps == 3
+        assert trace.tokens_per_step().sum() == 3000

@@ -1,0 +1,85 @@
+"""Unit tests for the RoutingTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.workload.trace import RoutingTrace
+
+
+def make_trace(steps=3, experts=4, gpus=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return RoutingTrace(rng.integers(0, 100, (steps, experts, gpus)))
+
+
+class TestRoutingTrace:
+    def test_shape_accessors(self):
+        trace = make_trace()
+        assert (trace.num_steps, trace.num_experts, trace.num_gpus) == (3, 4, 2)
+        assert len(trace) == 3
+
+    def test_step_access_and_iteration(self):
+        trace = make_trace()
+        frames = list(trace)
+        assert len(frames) == 3
+        assert np.array_equal(frames[1], trace.step(1))
+
+    def test_step_out_of_range(self):
+        with pytest.raises(RoutingError):
+            make_trace().step(3)
+
+    def test_expert_loads(self):
+        trace = make_trace()
+        assert trace.expert_loads(0).shape == (4,)
+        assert trace.expert_loads().shape == (3, 4)
+        assert trace.expert_loads(1).sum() == trace.step(1).sum()
+
+    def test_tokens_per_step(self):
+        trace = make_trace()
+        assert np.array_equal(
+            trace.tokens_per_step(),
+            np.array([trace.step(t).sum() for t in range(3)]),
+        )
+
+    def test_slice(self):
+        trace = make_trace(steps=5)
+        sub = trace.slice(1, 4)
+        assert sub.num_steps == 3
+        assert np.array_equal(sub.step(0), trace.step(1))
+
+    def test_slice_invalid(self):
+        with pytest.raises(RoutingError):
+            make_trace().slice(2, 1)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(RoutingError):
+            RoutingTrace(np.array([[[-1]]]))
+
+    def test_rejects_non_integral(self):
+        with pytest.raises(RoutingError):
+            RoutingTrace(np.array([[[0.5]]]))
+
+    def test_accepts_integral_floats(self):
+        trace = RoutingTrace(np.array([[[2.0]]]))
+        assert trace.step(0)[0, 0] == 2
+
+    def test_immutability(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace.step(0)[0, 0] = 5
+
+    def test_roundtrip_save_load(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        assert RoutingTrace.load(path) == trace
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(RoutingError):
+            RoutingTrace.load(path)
+
+    def test_equality(self):
+        assert make_trace(seed=1) == make_trace(seed=1)
+        assert make_trace(seed=1) != make_trace(seed=2)
