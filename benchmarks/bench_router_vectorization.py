@@ -1,0 +1,54 @@
+"""Routing hot-path microbenchmark: vectorized vs reference router.
+
+The flexible token router (Algorithm 3) runs on every step of every
+simulated system, and the Policy Maker's what-if search leans on its
+fractional relaxation hundreds of times per scheduling round — so its
+per-call latency bounds how large a cluster/expert count the simulation
+can sweep. The vectorized router batches locality, capacities and spill
+apportionment across all experts; this benchmark times it against the
+seed per-expert/per-source implementation (kept as
+``ReferenceTokenRouter``) at the paper's 64-expert scale and asserts the
+acceptance floor of a 5x speedup at 64 experts / 16 GPUs.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import router_microbenchmark
+from repro.bench.reporting import format_table
+
+#: (experts, gpus) grid; the 64/16 point is the acceptance criterion.
+SHAPES = ((16, 8), (64, 16), (128, 32))
+
+
+def run_router_bench():
+    rows = []
+    measurements = {}
+    for num_experts, num_gpus in SHAPES:
+        result = router_microbenchmark(
+            num_experts=num_experts, num_gpus=num_gpus, repeats=20
+        )
+        measurements[(num_experts, num_gpus)] = result
+        rows.append(
+            [
+                num_experts,
+                num_gpus,
+                f"{result['vectorized_ms']:.3f}",
+                f"{result['reference_ms']:.3f}",
+                f"{result['speedup']:.1f}x",
+            ]
+        )
+    table = format_table(
+        ["experts", "gpus", "vectorized (ms)", "reference (ms)", "speedup"],
+        rows,
+        title="Routing microbenchmark: vectorized vs seed reference",
+    )
+    return table, measurements
+
+
+def test_router_vectorization(benchmark, report):
+    table, measurements = run_once(benchmark, run_router_bench)
+    report("router_vectorization", table)
+    # Acceptance criterion: >= 5x at the paper's 64-expert / 16-GPU scale.
+    assert measurements[(64, 16)]["speedup"] >= 5.0
+    for result in measurements.values():
+        assert result["speedup"] > 1.0

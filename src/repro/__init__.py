@@ -27,6 +27,15 @@ Quickstart::
     from repro import quick_simulation
     result = quick_simulation(num_gpus=8, num_experts=16, num_steps=50)
     print(result.summary())
+
+Multi-layer pipelined engine (every MoE layer schedules its own
+placement; All-to-All overlaps the dense blocks)::
+
+    from repro import pipeline_simulation
+    run = pipeline_simulation(num_moe_layers=4, num_gpus=16, num_experts=32)
+    print(run.phase_breakdown())
+
+Or from the command line: ``python -m repro run|bench|compare``.
 """
 
 from repro.config import (
@@ -66,8 +75,33 @@ __all__ = [
     "TopologyError",
     "WorkloadConfig",
     "__version__",
+    "pipeline_simulation",
     "quick_simulation",
 ]
+
+
+def pipeline_simulation(
+    num_moe_layers: int = 4,
+    num_gpus: int = 16,
+    num_experts: int = 32,
+    num_steps: int = 30,
+    seed: int = 0,
+):
+    """Run the multi-layer pipelined FlexMoE engine and return the results.
+
+    A convenience entry point for the quickstart; see
+    :func:`repro.bench.harness.pipeline_run` for every knob and
+    :func:`repro.training.loop.simulate_pipeline` for the full API.
+    """
+    from repro.bench.harness import pipeline_run
+
+    return pipeline_run(
+        num_moe_layers=num_moe_layers,
+        num_gpus=num_gpus,
+        num_experts=num_experts,
+        num_steps=num_steps,
+        seed=seed,
+    )
 
 
 def quick_simulation(

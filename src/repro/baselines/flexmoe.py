@@ -22,25 +22,27 @@ immediately and their full transfer time blocks the step.
 
 FlexMoE never drops or diverts tokens: token efficiency is 100% by
 construction, the property behind its model-quality win (Table 2).
+
+The per-layer mechanics (scheduler state, best-effort stream, routing) live
+in :class:`~repro.runtime.pipeline.LayerPipeline`; this class wraps ONE of
+them in the :class:`~repro.baselines.base.MoESystem` interface. The
+multi-layer engine (:class:`~repro.runtime.pipeline.MultiLayerFlexMoEEngine`)
+runs one pipeline per MoE layer of the transformer.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import deque
 
 import numpy as np
 
 from repro.baselines.base import MoESystem, StepResult, SystemContext
 from repro.config import SchedulerConfig
-from repro.core.cost_model import MoECostModel
 from repro.core.flow_control import GateFlowController
 from repro.core.placement import Placement
-from repro.core.policy import PolicyMaker
-from repro.core.primitives import PlacementAction
-from repro.core.router import FlexibleTokenRouter
 from repro.core.scheduler import Scheduler
 from repro.runtime.adjustment import AdjustmentQueue
+from repro.runtime.pipeline import LayerPipeline
 
 
 class FlexMoESystem(MoESystem):
@@ -65,41 +67,23 @@ class FlexMoESystem(MoESystem):
         super().__init__(context)
         self._scheduler_config = scheduler_config or SchedulerConfig()
         self._flow_control = flow_control
-        self._router = FlexibleTokenRouter()
-        self._cost_model = MoECostModel(context.profile, context.model)
         # The adjustment stream overlaps the *whole model's* training step,
         # of which the simulated MoE layer is one slice: the stream budget
         # per simulated step is scaled by the number of MoE layers.
-        self._overlap_factor = max(1, context.model.num_layers // 2)
+        self._overlap_factor = context.model.num_moe_layers
         self._build()
 
     def _build(self) -> None:
         ctx = self._ctx
-        # Every expert needs one vExpert; auto-sizing doubles that minimum
-        # so replication headroom always exists (the paper's setups do the
-        # same). Explicit slot counts are respected as configured.
-        min_slots = -(-ctx.model.num_experts // ctx.topology.num_gpus)
-        if self._scheduler_config.slots_per_gpu is None:
-            self._scheduler_config = self._scheduler_config.replace(
-                slots_per_gpu=max(4, 2 * min_slots)
-            )
-        # Target placement: what the scheduler plans toward. Active
-        # placement: what routing/execution actually use; commits lag by the
-        # best-effort stream's budget.
-        self._target = Placement.balanced(
-            ctx.model.num_experts,
-            ctx.topology.num_gpus,
-            self._scheduler_config.slots_per_gpu,
+        self._layer = LayerPipeline(
+            model=ctx.model,
+            topology=ctx.topology,
+            profile=ctx.profile,
+            collectives=ctx.collectives,
+            scheduler_config=self._scheduler_config,
+            group_cache=ctx.executor.group_cache,
         )
-        self._active = self._target.copy()
-        policy = PolicyMaker(self._cost_model)
-        self._scheduler = Scheduler(
-            self._target, policy, self._scheduler_config, ctx.topology
-        )
-        self._queue = AdjustmentQueue(ctx.model, ctx.collectives)
-        # Each entry: [remaining_stream_seconds, actions_tuple]
-        self._pending: deque[list] = deque()
-        self._committed_actions = 0
+        self._scheduler_config = self._layer.config
 
     def reset(self) -> None:
         self._build()
@@ -112,69 +96,25 @@ class FlexMoESystem(MoESystem):
     @property
     def placement(self) -> Placement:
         """The active placement (what routing currently uses)."""
-        return self._active
+        return self._layer.active_placement
 
     @property
     def target_placement(self) -> Placement:
         """The scheduler's goal placement (active + pending actions)."""
-        return self._target
+        return self._layer.target_placement
 
     @property
     def scheduler(self) -> Scheduler:
-        return self._scheduler
+        return self._layer.scheduler
 
     @property
     def adjustment_queue(self) -> AdjustmentQueue:
-        return self._queue
+        return self._layer.adjustment_queue
 
     @property
     def pending_adjustments(self) -> int:
         """Actions emitted but not yet committed to the active placement."""
-        return sum(len(entry[1]) for entry in self._pending)
-
-    # ------------------------------------------------------------------
-    # Best-effort pipeline
-    # ------------------------------------------------------------------
-    def _stream_work_seconds(self, actions: tuple[PlacementAction, ...]) -> float:
-        """Background seconds needed before ``actions`` can commit:
-        parameter/optimizer transfers plus new communicator creations."""
-        self._queue.enqueue(actions)
-        report = self._queue.drain(overlap_window=0.0, best_effort=True)
-        creation = self._group_creation_cost()
-        return report.transfer_time + creation
-
-    def _group_creation_cost(self) -> float:
-        """Seconds to create communicators for new replica groups.
-
-        Creations are independent handshakes issued from the background
-        thread pool, so concurrent creations cost the slowest one, not the
-        sum.
-        """
-        cache = self._ctx.executor.group_cache
-        if cache is None:
-            return 0.0
-        cost = 0.0
-        for group in self._target.replica_groups().values():
-            if len(group) > 1:
-                cost = max(cost, cache.acquire(group))
-        return cost
-
-    def _advance_stream(self, budget: float) -> int:
-        """Spend ``budget`` seconds of stream bandwidth; commit ready actions."""
-        committed = 0
-        while self._pending and budget > 0:
-            entry = self._pending[0]
-            if entry[0] > budget:
-                entry[0] -= budget
-                budget = 0.0
-                break
-            budget -= entry[0]
-            for action in entry[1]:
-                action.apply(self._active)
-            committed += len(entry[1])
-            self._pending.popleft()
-        self._committed_actions += committed
-        return committed
+        return self._layer.pending_actions
 
     # ------------------------------------------------------------------
     # Step
@@ -183,27 +123,16 @@ class FlexMoESystem(MoESystem):
         assignment = self._check_assignment(assignment)
         assigned = int(assignment.sum())
         if self._flow_control is not None:
-            admitted = self._flow_control.admit(assignment, self._active)
+            admitted = self._flow_control.admit(assignment, self.placement)
         else:
             admitted = assignment
 
-        outcome = self._scheduler.on_step(admitted, step_index)
-        blocking = 0.0
-        if outcome.actions:
-            work = self._stream_work_seconds(outcome.actions)
-            if self._scheduler_config.best_effort:
-                self._pending.append([work, outcome.actions])
-            else:
-                for action in outcome.actions:
-                    action.apply(self._active)
-                self._committed_actions += len(outcome.actions)
-                blocking = work
-
-        plan = self._router.route(admitted, self._active)
-        timing = self._ctx.executor.execute(plan.routes, self._active)
+        blocking, outcome = self._layer.begin_step(admitted, step_index)
+        plan = self._layer.route(admitted)
+        timing = self._ctx.executor.execute(plan.routes, self.placement)
         if blocking > 0:
             timing = dataclasses.replace(timing, adjustment_blocking=blocking)
-        committed = self._advance_stream(
+        committed = self._layer.advance_stream(
             timing.step_time * self._overlap_factor
         )
         return StepResult(

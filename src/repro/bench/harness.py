@@ -9,6 +9,7 @@ reproduction.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.baselines import (
@@ -17,10 +18,23 @@ from repro.baselines import (
     FlexMoESystem,
     SwipeSystem,
 )
-from repro.config import ClusterConfig, MoEModelConfig, WorkloadConfig
+from repro.config import (
+    ClusterConfig,
+    MoEModelConfig,
+    WorkloadConfig,
+    auto_slots_per_gpu,
+)
+from repro.core.placement import Placement
+from repro.core.router import FlexibleTokenRouter, ReferenceTokenRouter
 from repro.exceptions import ConfigurationError
 from repro.model.zoo import get_model_config
-from repro.training.loop import ComparisonResult, compare_systems
+from repro.training.loop import (
+    ComparisonResult,
+    PipelineRunResult,
+    compare_systems,
+    simulate_pipeline,
+)
+from repro.workload.synthetic import DriftingRoutingGenerator, make_multilayer_trace
 
 #: Target quality reached after this many steps by an ideal system; the
 #: Figure 5 time-to-quality metric multiplies it by each system's
@@ -141,6 +155,94 @@ def scalability_sweep(
             seed=seed,
         )
     return results
+
+
+def router_microbenchmark(
+    num_experts: int = 64,
+    num_gpus: int = 16,
+    repeats: int = 30,
+    tokens_per_gpu: int = 32_768,
+    skew: float = 1.3,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Time the vectorized router against the seed reference implementation.
+
+    Both routers process the same skewed drifting assignments over the same
+    balanced placement; the returned ``speedup`` is the reference's mean
+    per-call latency over the vectorized router's.
+    """
+    config = WorkloadConfig(
+        tokens_per_step=tokens_per_gpu * num_gpus,
+        num_steps=max(repeats, 1),
+        skew=skew,
+        seed=seed,
+    )
+    trace = DriftingRoutingGenerator(num_experts, num_gpus, config).generate()
+    placement = Placement.balanced(
+        num_experts, num_gpus, auto_slots_per_gpu(num_experts, num_gpus)
+    )
+
+    def time_router(router) -> float:
+        router.route(trace.step(0), placement)  # warm up
+        start = time.perf_counter()
+        for step in range(trace.num_steps):
+            router.route(trace.step(step), placement)
+        return (time.perf_counter() - start) / trace.num_steps
+
+    vectorized = time_router(FlexibleTokenRouter())
+    reference = time_router(ReferenceTokenRouter())
+    return {
+        "num_experts": float(num_experts),
+        "num_gpus": float(num_gpus),
+        "repeats": float(trace.num_steps),
+        "vectorized_ms": vectorized * 1e3,
+        "reference_ms": reference * 1e3,
+        "speedup": reference / vectorized if vectorized > 0 else float("inf"),
+    }
+
+
+def pipeline_run(
+    num_moe_layers: int = 4,
+    num_gpus: int = 16,
+    num_experts: int = 32,
+    num_steps: int = 30,
+    tokens_per_gpu: int = 32_768,
+    d_model: int = 2048,
+    d_ffn: int = 8192,
+    warmup: int = 5,
+    seed: int = 0,
+    overlap_efficiency: float = 1.0,
+    model_dense_compute: bool = True,
+) -> PipelineRunResult:
+    """Run the multi-layer pipelined engine on a synthetic workload."""
+    from repro.runtime.pipeline import build_engine
+
+    model = MoEModelConfig(
+        name=f"pipeline-{num_moe_layers}L-{num_experts}e",
+        num_layers=2 * num_moe_layers,
+        d_model=d_model,
+        d_ffn=d_ffn,
+        num_experts=num_experts,
+    )
+    engine = build_engine(
+        cluster_for(num_gpus),
+        model,
+        num_moe_layers=num_moe_layers,
+        overlap_efficiency=overlap_efficiency,
+        model_dense_compute=model_dense_compute,
+        seed=seed,
+    )
+    trace = make_multilayer_trace(
+        num_moe_layers,
+        num_experts,
+        num_gpus,
+        WorkloadConfig(
+            tokens_per_step=tokens_per_gpu * num_gpus,
+            num_steps=num_steps,
+            seed=seed,
+        ),
+    )
+    return simulate_pipeline(engine, trace, warmup=min(warmup, num_steps - 1))
 
 
 def quick_comparison(

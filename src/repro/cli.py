@@ -1,0 +1,296 @@
+"""Command-line entry point: ``python -m repro``.
+
+Three subcommands expose the simulation engine without writing any code:
+
+* ``run``     — multi-layer pipelined FlexMoE run with an overlap-aware
+  step-time breakdown and per-layer placement divergence;
+* ``bench``   — the routing microbenchmark (vectorized vs reference
+  router), plus ``--smoke`` for the fast end-to-end suite CI runs;
+* ``compare`` — the paper's system line-up (DeepSpeed-style expert
+  parallelism / FasterMoE / FlexMoE) on one workload.
+
+Every benchmark in ``benchmarks/`` and example in ``examples/`` builds on
+the same harness functions these commands call, so the CLI is the quickest
+way to reach any scenario; see ``docs/paper_mapping.md`` for which figure
+each maps to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Sequence
+
+from repro.bench.harness import (
+    SMOKE,
+    figure5_comparison,
+    pipeline_run,
+    quick_comparison,
+    router_microbenchmark,
+)
+from repro.exceptions import ReproError
+from repro.model.zoo import MODEL_ZOO
+
+
+def _add_run_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "run",
+        help="run the multi-layer pipelined FlexMoE engine",
+        description=(
+            "Simulate FlexMoE over every MoE layer of a transformer: "
+            "per-layer placements and adjustment streams, with All-to-All "
+            "overlapped against the dense blocks."
+        ),
+    )
+    p.add_argument("--layers", type=int, default=4, help="MoE layers (default 4)")
+    p.add_argument("--experts", type=int, default=32, help="experts per layer")
+    p.add_argument("--gpus", type=int, default=16, help="cluster size")
+    p.add_argument("--steps", type=int, default=30, help="trace length")
+    p.add_argument("--tokens-per-gpu", type=int, default=32_768)
+    p.add_argument("--d-model", type=int, default=2048)
+    p.add_argument("--d-ffn", type=int, default=8192)
+    p.add_argument("--warmup", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="disable compute/communication overlap (ablation)",
+    )
+    p.add_argument(
+        "--no-dense",
+        action="store_true",
+        help="skip dense-block modelling (bare stacked MoE layers)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "bench",
+        help="routing microbenchmark / CI smoke suite",
+        description=(
+            "Default: time the vectorized router against the seed reference "
+            "implementation. --smoke additionally runs a fast end-to-end "
+            "pipeline and comparison pass (what CI runs)."
+        ),
+    )
+    p.add_argument("--experts", type=int, default=64)
+    p.add_argument("--gpus", type=int, default=16)
+    p.add_argument("--repeats", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast end-to-end suite: router + pipeline + comparison",
+    )
+    p.add_argument("--json", action="store_true")
+
+
+def _add_compare_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "compare",
+        help="compare DeepSpeed / FasterMoE / FlexMoE on one workload",
+        description=(
+            "Run the paper's system line-up on an identical trace and "
+            "substrate (Figure 5's methodology)."
+        ),
+    )
+    p.add_argument(
+        "--model",
+        default=None,
+        metavar="NAME",
+        help=f"model-zoo config (one of: {', '.join(sorted(MODEL_ZOO))}); "
+        "omit for a small custom model",
+    )
+    p.add_argument("--experts", type=int, default=16, help="custom-model experts")
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--steps", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FlexMoE reproduction: dynamic device placement for "
+        "sparse MoE training (Nie et al., SIGMOD 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(sub)
+    _add_bench_parser(sub)
+    _add_compare_parser(sub)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    run = pipeline_run(
+        num_moe_layers=args.layers,
+        num_gpus=args.gpus,
+        num_experts=args.experts,
+        num_steps=args.steps,
+        tokens_per_gpu=args.tokens_per_gpu,
+        d_model=args.d_model,
+        d_ffn=args.d_ffn,
+        warmup=args.warmup,
+        seed=args.seed,
+        overlap_efficiency=0.0 if args.no_overlap else 1.0,
+        model_dense_compute=not args.no_dense,
+    )
+    summary = run.summary()
+    if args.json:
+        payload = dict(summary)
+        payload["distinct_final_placements"] = run.distinct_final_placements
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{run.engine}: {args.layers} MoE layers x {args.experts} experts "
+        f"on {args.gpus} GPUs, {args.steps} steps"
+    )
+    print(
+        f"  mean step time     {1e3 * summary['mean_step_time']:9.3f} ms "
+        f"(p95 {1e3 * summary['p95_step_time']:.3f} ms)"
+    )
+    print("  step-time breakdown (mean seconds per phase):")
+    for phase, value in run.phase_breakdown().items():
+        if phase == "step_time":
+            continue
+        print(f"    {phase:<20} {1e3 * value:9.3f} ms")
+    print(
+        f"  A2A hidden by overlap  {100 * summary['mean_overlap_savings']:6.1f} %"
+    )
+    print(
+        f"  distinct per-layer placements at end of run: "
+        f"{run.distinct_final_placements} / {run.num_moe_layers}"
+    )
+    print(
+        f"  placement actions committed: {int(summary['scheduling_actions'])}"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    results: dict[str, object] = {}
+    if args.smoke:
+        # Keep every stage small: CI runs this on every push.
+        micro = router_microbenchmark(
+            num_experts=min(args.experts, 32),
+            num_gpus=min(args.gpus, 8),
+            repeats=min(args.repeats, 10),
+            seed=args.seed,
+        )
+        results["router"] = micro
+        run = pipeline_run(
+            num_moe_layers=2,
+            num_gpus=8,
+            num_experts=16,
+            num_steps=10,
+            warmup=2,
+            seed=args.seed,
+        )
+        results["pipeline"] = {
+            "mean_step_time": run.mean_step_time,
+            "distinct_final_placements": run.distinct_final_placements,
+            "overlap_savings": run.summary()["mean_overlap_savings"],
+        }
+        cmp = quick_comparison(
+            num_gpus=8, num_experts=16, num_steps=10, seed=args.seed
+        )
+        results["comparison"] = {
+            name: cmp[name].mean_step_time for name in cmp.systems
+        }
+        ok = (
+            micro["speedup"] > 1.0
+            and run.mean_step_time > 0
+            and "FlexMoE" in cmp.systems
+        )
+        results["ok"] = ok
+        if args.json:
+            print(json.dumps(results, indent=2, sort_keys=True))
+        else:
+            print(
+                f"router     vectorized {micro['vectorized_ms']:.3f} ms vs "
+                f"reference {micro['reference_ms']:.3f} ms "
+                f"({micro['speedup']:.1f}x)"
+            )
+            print(
+                f"pipeline   mean step {1e3 * run.mean_step_time:.3f} ms, "
+                f"{run.distinct_final_placements} distinct layer placements"
+            )
+            print(
+                "comparison "
+                + "  ".join(
+                    f"{name}={1e3 * t:.3f}ms"
+                    for name, t in results["comparison"].items()
+                )
+            )
+            print("smoke:", "OK" if ok else "FAILED")
+        return 0 if ok else 1
+
+    micro = router_microbenchmark(
+        num_experts=args.experts,
+        num_gpus=args.gpus,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(micro, indent=2, sort_keys=True))
+    else:
+        print(
+            f"routing microbenchmark ({args.experts} experts, "
+            f"{args.gpus} GPUs, {args.repeats} repeats):"
+        )
+        print(f"  vectorized  {micro['vectorized_ms']:9.3f} ms/route")
+        print(f"  reference   {micro['reference_ms']:9.3f} ms/route")
+        print(f"  speedup     {micro['speedup']:9.1f}x")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.model is not None:
+        scale = dataclasses.replace(
+            SMOKE,
+            num_steps=args.steps,
+            warmup=min(SMOKE.warmup, max(0, args.steps // 4)),
+        )
+        result = figure5_comparison(
+            args.model, args.gpus, scale=scale, seed=args.seed
+        )
+    else:
+        result = quick_comparison(
+            num_gpus=args.gpus,
+            num_experts=args.experts,
+            num_steps=args.steps,
+            seed=args.seed,
+        )
+    if args.json:
+        payload = {name: result[name].summary() for name in result.systems}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(result.summary())
+    baseline = result.systems[0]
+    for name in result.systems[1:]:
+        print(f"{name} speedup over {baseline}: {result.speedup(name, baseline):.2f}x")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "bench": _cmd_bench,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

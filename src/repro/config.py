@@ -33,6 +33,19 @@ def _require(condition: bool, message: str) -> None:
         raise ConfigurationError(message)
 
 
+def auto_slots_per_gpu(num_experts: int, num_gpus: int) -> int:
+    """Default vExpert slots per GPU when none is configured.
+
+    Every expert needs one vExpert; doubling that minimum keeps
+    replication headroom on any cluster (the paper's setups do the same),
+    with a floor of 4 slots. Shared by the scheduler auto-sizing and the
+    benchmarks so they always agree on the placement shape.
+    """
+    _require(num_experts >= 1, "num_experts must be >= 1")
+    _require(num_gpus >= 1, "num_gpus must be >= 1")
+    return max(4, 2 * -(-num_experts // num_gpus))
+
+
 @dataclass(frozen=True)
 class MoEModelConfig:
     """Architecture of one MoE-augmented transformer (one row of Table 1).
@@ -104,6 +117,36 @@ class MoEModelConfig:
         roughly twice the forward pass, hence the factor of 3.
         """
         return 3.0 * 2.0 * 2.0 * self.d_model * self.d_ffn
+
+    @property
+    def num_moe_layers(self) -> int:
+        """MoE layers in the transformer (every other layer, per the paper)."""
+        return max(1, self.num_layers // 2)
+
+    @property
+    def attention_flops_per_token(self) -> float:
+        """Forward+backward FLOPs of one attention block for one token.
+
+        Counts the four ``d_model x d_model`` projections (Q, K, V, output)
+        at 2 FLOPs per MAC, times 3 for forward plus ~2x backward. The
+        sequence-quadratic score term is omitted — it is sequence-length
+        dependent and small next to the projections at the paper's context
+        lengths.
+        """
+        return 3.0 * 2.0 * 4.0 * self.d_model * self.d_model
+
+    @property
+    def dense_flops_per_moe_block(self) -> float:
+        """Non-expert FLOPs per token accompanying one MoE layer.
+
+        The paper's models alternate dense and MoE transformer layers, so
+        each MoE layer's slice of the model carries the attention of its
+        own layer plus the attention and dense FFN of the paired dense
+        layer. This is the computation the pipelined executor overlaps the
+        MoE All-to-All with.
+        """
+        dense_ffn_flops = 3.0 * 2.0 * 2.0 * self.d_model * self.d_ffn
+        return 2.0 * self.attention_flops_per_token + dense_ffn_flops
 
     def replace(self, **changes: object) -> "MoEModelConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -18,11 +18,15 @@ This package implements the paper's primary contribution:
 """
 
 from repro.core.balance import balance_ratio, variance_ratio
-from repro.core.cost_model import CostBreakdown, MoECostModel
+from repro.core.cost_model import CostBreakdown, MemoizedStepCost, MoECostModel
 from repro.core.placement import Placement
 from repro.core.policy import PolicyMaker
 from repro.core.primitives import Expand, Migrate, PlacementAction, Shrink
-from repro.core.router import FlexibleTokenRouter, RoutingPlan
+from repro.core.router import (
+    FlexibleTokenRouter,
+    ReferenceTokenRouter,
+    RoutingPlan,
+)
 from repro.core.scheduler import Scheduler, SchedulingOutcome
 from repro.core.flow_control import GateFlowController
 
@@ -31,11 +35,13 @@ __all__ = [
     "Expand",
     "FlexibleTokenRouter",
     "GateFlowController",
+    "MemoizedStepCost",
     "Migrate",
     "MoECostModel",
     "Placement",
     "PlacementAction",
     "PolicyMaker",
+    "ReferenceTokenRouter",
     "RoutingPlan",
     "Scheduler",
     "SchedulingOutcome",

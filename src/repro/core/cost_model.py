@@ -21,8 +21,9 @@ into the ground-truth executor's timing model.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -30,7 +31,10 @@ from repro.cluster.profiler import ClusterProfile
 from repro.config import MoEModelConfig
 from repro.core.placement import Placement
 from repro.core.primitives import PlacementAction
-from repro.exceptions import RoutingError
+from repro.exceptions import ConfigurationError, RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.router import FlexibleTokenRouter
 
 
 @dataclass(frozen=True)
@@ -123,17 +127,27 @@ class MoECostModel:
         return self.A2A_PASSES * per_dst
 
     def sync_times(self, placement: Placement) -> np.ndarray:
-        """Per-GPU AllReduce seconds (Eq. 9) for replicated experts."""
-        times = np.zeros(placement.num_gpus)
+        """Per-GPU AllReduce seconds (Eq. 9) for replicated experts.
+
+        Distinct replica groups are priced once (first-seen order, so the
+        profile's lazy noisy-measurement stream is unchanged) and the
+        per-GPU accumulation is a single membership-matrix product.
+        """
+        member = placement.counts > 0  # (experts, gpus)
+        multi = np.flatnonzero(member.sum(axis=1) > 1)
+        if multi.size == 0:
+            return np.zeros(placement.num_gpus)
         grad_bytes = self._model.expert_bytes
-        for expert, group in placement.replica_groups().items():
-            if len(group) <= 1:
-                continue
-            bps = self._profile.allreduce_bps(group)
-            t_sync = grad_bytes / bps
-            for gpu in group:
-                times[gpu] += t_sync
-        return times
+        bps_seen: dict[tuple[int, ...], float] = {}
+        t_sync = np.empty(multi.size)
+        for i, expert in enumerate(multi):
+            group = tuple(int(g) for g in np.flatnonzero(member[expert]))
+            bps = bps_seen.get(group)
+            if bps is None:
+                bps = self._profile.allreduce_bps(group)
+                bps_seen[group] = bps
+            t_sync[i] = grad_bytes / bps
+        return member[multi].T.astype(float) @ t_sync
 
     def adjustment_cost(self, actions: Sequence[PlacementAction]) -> float:
         """Seconds of sequential transfer time for a list of primitives.
@@ -186,3 +200,77 @@ class MoECostModel:
     def step_time(self, routes: np.ndarray, placement: Placement) -> float:
         """Eq. 5: modelled wall-clock of one MoE-layer step."""
         return self.step_breakdown(routes, placement).step_time
+
+
+class MemoizedStepCost:
+    """LRU memo of modelled step times keyed on (placement, load vector).
+
+    The Policy Maker's what-if search evaluates hundreds of candidate
+    placements per scheduling round, and across rounds of the same step —
+    and often across adjacent steps, since the assignment drifts smoothly —
+    it keeps re-deriving the cost of identical (assignment, placement)
+    configurations. Routing is deterministic, so the modelled step time is
+    a pure function of the two; this wrapper routes and evaluates on a
+    miss and replays the cached value on a hit.
+
+    Args:
+        cost_model: The underlying (uncached) cost model.
+        router: Router supplying the fractional relaxation; defaults to a
+            fresh :class:`~repro.core.router.FlexibleTokenRouter`.
+        capacity: Maximum number of cached configurations (LRU eviction).
+    """
+
+    def __init__(
+        self,
+        cost_model: MoECostModel,
+        router: "FlexibleTokenRouter | None" = None,
+        capacity: int = 4096,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("memo capacity must be >= 1")
+        from repro.core.router import FlexibleTokenRouter
+
+        self._cost_model = cost_model
+        self._router = router or FlexibleTokenRouter()
+        self._capacity = capacity
+        self._cache: OrderedDict[tuple, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cost_model(self) -> MoECostModel:
+        return self._cost_model
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def step_time(self, assignment: np.ndarray, placement: Placement) -> float:
+        """Modelled step time of ``assignment`` under ``placement``.
+
+        Identical to routing the assignment fractionally and asking the
+        cost model, but cached on the (placement, load-vector) pair.
+        """
+        loads = np.ascontiguousarray(assignment, dtype=np.float64)
+        key = (placement.signature(), loads.shape, loads.tobytes())
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        routes = self._router.route_fractional(assignment, placement)
+        value = self._cost_model.step_time(routes, placement)
+        self._cache[key] = value
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+        self.misses += 1
+        return value

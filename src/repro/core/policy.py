@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.cost_model import MoECostModel
+from repro.core.cost_model import MemoizedStepCost, MoECostModel
 from repro.core.placement import Placement
 from repro.core.primitives import Expand, PlacementAction, Shrink
 from repro.core.router import FlexibleTokenRouter
@@ -71,6 +71,7 @@ class PolicyMaker:
             raise SchedulingError("candidate counts must be >= 1")
         self._cost_model = cost_model
         self._router = router or FlexibleTokenRouter()
+        self._memo = MemoizedStepCost(cost_model, self._router)
         self._adjustment_horizon = adjustment_horizon
         self._expand_candidates = expand_candidates
         self._shrink_candidates = shrink_candidates
@@ -79,16 +80,22 @@ class PolicyMaker:
     def cost_model(self) -> MoECostModel:
         return self._cost_model
 
+    @property
+    def memo(self) -> MemoizedStepCost:
+        """The (placement, load-vector) step-time memo backing the search."""
+        return self._memo
+
     def estimate_step_time(
         self, assignment: np.ndarray, placement: Placement
     ) -> float:
         """Modelled step time of ``assignment`` under ``placement``.
 
         Uses the router's continuous relaxation: candidate evaluation only
-        needs costs, not integral token counts.
+        needs costs, not integral token counts. Evaluations are memoized on
+        the (placement, load-vector) pair, so repeated what-if queries over
+        identical configurations replay the cached cost.
         """
-        routes = self._router.route_fractional(assignment, placement)
-        return self._cost_model.step_time(routes, placement)
+        return self._memo.step_time(assignment, placement)
 
     def make_plan(
         self, assignment: np.ndarray, placement: Placement
@@ -149,8 +156,7 @@ class PolicyMaker:
             source = self._expand_source(trial, e0, gpu)
             expand = Expand(expert=e0, gpu=gpu, source_gpu=source)
             expand.apply(trial)
-            routes = self._router.route_fractional(assignment, trial)
-            t1 = self._cost_model.step_time(routes, trial)
+            t1 = self._memo.step_time(assignment, trial)
             adjustment = self._cost_model.adjustment_cost([shrink, expand])
             effective = t1 + self._amortized(adjustment)
             if effective < t0 and (best is None or effective < best.time_after):

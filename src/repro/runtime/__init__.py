@@ -11,13 +11,30 @@ background transfers.
 
 from repro.runtime.adjustment import AdjustmentQueue, AdjustmentReport
 from repro.runtime.events import Event, EventLoop
-from repro.runtime.executor import StepExecutor, StepTiming
+from repro.runtime.executor import (
+    PipelinedStepExecutor,
+    PipelineStepTiming,
+    StepExecutor,
+    StepTiming,
+)
+from repro.runtime.pipeline import (
+    LayerPipeline,
+    MultiLayerFlexMoEEngine,
+    PipelineStepResult,
+    build_engine,
+)
 
 __all__ = [
     "AdjustmentQueue",
     "AdjustmentReport",
     "Event",
     "EventLoop",
+    "LayerPipeline",
+    "MultiLayerFlexMoEEngine",
+    "PipelineStepResult",
+    "PipelineStepTiming",
+    "PipelinedStepExecutor",
     "StepExecutor",
     "StepTiming",
+    "build_engine",
 ]

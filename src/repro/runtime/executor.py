@@ -1,7 +1,8 @@
-"""Ground-truth step execution ("real cost") for one MoE layer.
+"""Ground-truth step execution ("real cost") for MoE layers.
 
-The executor plays the synchronous timeline of a training step against the
-*true* hardware figures of the simulated cluster plus execution jitter:
+:class:`StepExecutor` plays the synchronous timeline of ONE MoE layer's
+step against the *true* hardware figures of the simulated cluster plus
+execution jitter:
 
 1. forward dispatch All-to-All  (barrier across GPUs)
 2. forward expert computation   (barrier — combine needs every GPU)
@@ -17,11 +18,20 @@ Its timings are what the paper's Figure 6c calls "real cost"; the
 provides the "estimation cost". Barrier semantics make the executor's step
 time an upper bound of the cost model's per-GPU-sum (Eq. 5); for the
 straggler-dominated steps FlexMoE targets the two agree closely.
+
+:class:`PipelinedStepExecutor` composes per-layer timings into a whole
+transformer step: every MoE layer of the model executes, the dense
+(attention + shared FFN) computation between MoE blocks is modelled, and
+each layer's All-to-All phases overlap that dense computation on a
+separate stream — the fine-grained task pipelining the paper's evaluation
+(and FSMoE/Hecate after it) relies on. See ``docs/architecture.md`` for
+the step timeline and the overlap rules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -221,3 +231,213 @@ class StepExecutor:
             for rank, launches in schedules.items()
         }
         return max(per_gpu_chain.values())
+
+
+@dataclass(frozen=True)
+class PipelineStepTiming:
+    """Measured timing of one whole-transformer step over all MoE layers.
+
+    Attributes:
+        layer_timings: Per-MoE-layer measured timings, in layer order.
+        dense_time: Seconds of dense (attention + shared FFN) computation
+            across all transformer blocks, barriered per block.
+        hidden_a2a: All-to-All seconds hidden behind dense computation by
+            the compute/communication pipeline (0 when overlap is off).
+        adjustment_blocking: Seconds the adjustment streams failed to hide.
+    """
+
+    layer_timings: tuple[StepTiming, ...]
+    dense_time: float
+    hidden_a2a: float
+    adjustment_blocking: float
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_timings)
+
+    @property
+    def a2a_time(self) -> float:
+        """Total All-to-All seconds across layers (hidden + exposed)."""
+        return sum(t.a2a_time for t in self.layer_timings)
+
+    @property
+    def exposed_a2a(self) -> float:
+        """All-to-All seconds actually extending the critical path."""
+        return self.a2a_time - self.hidden_a2a
+
+    @property
+    def compute_time(self) -> float:
+        """Expert-computation seconds across layers (barriered per layer)."""
+        return sum(t.compute_time for t in self.layer_timings)
+
+    @property
+    def sync_time(self) -> float:
+        """Replica-gradient AllReduce seconds across layers."""
+        return sum(t.sync_time for t in self.layer_timings)
+
+    @property
+    def step_time(self) -> float:
+        return (
+            self.dense_time
+            + self.compute_time
+            + self.exposed_a2a
+            + self.sync_time
+            + self.adjustment_blocking
+        )
+
+    @property
+    def per_gpu_compute(self) -> np.ndarray:
+        """Per-GPU busy expert-compute seconds summed over layers."""
+        return np.sum([t.per_gpu_compute for t in self.layer_timings], axis=0)
+
+    @property
+    def compute_utilization(self) -> float:
+        """Mean fraction of the step each GPU spent on expert compute."""
+        step = self.step_time
+        if step == 0:
+            return 1.0
+        return float((self.per_gpu_compute / step).mean())
+
+    @property
+    def overlap_savings(self) -> float:
+        """Fraction of All-to-All time the pipeline hid (0 when none)."""
+        total = self.a2a_time
+        if total == 0:
+            return 0.0
+        return self.hidden_a2a / total
+
+    def breakdown(self) -> dict[str, float]:
+        """Overlap-aware step-time decomposition, keyed by phase."""
+        return {
+            "dense_compute": self.dense_time,
+            "expert_compute": self.compute_time,
+            "a2a_exposed": self.exposed_a2a,
+            "a2a_hidden": self.hidden_a2a,
+            "sync": self.sync_time,
+            "adjustment_blocking": self.adjustment_blocking,
+            "step_time": self.step_time,
+        }
+
+
+class PipelinedStepExecutor:
+    """Executes every MoE layer of a transformer step, with overlap.
+
+    Wraps a single-layer :class:`StepExecutor` (ground-truth figures and
+    jitter stream) and composes the per-layer timings into a whole-model
+    step:
+
+    * each MoE layer runs its full dispatch/compute/combine/sync timeline
+      against its own placement and routes;
+    * the dense computation of the surrounding transformer blocks
+      (:attr:`MoEModelConfig.dense_flops_per_moe_block`) executes between
+      MoE blocks;
+    * on a separate stream, each layer's All-to-All overlaps the dense
+      computation of its own block — up to ``overlap_efficiency`` of the
+      block's dense seconds hide that layer's A2A time.
+
+    With ``model_dense_compute=False`` the composition degenerates to the
+    plain sum of per-layer timings, which for a single layer is exactly
+    the seed engine's :meth:`StepExecutor.execute` result.
+
+    Args:
+        executor: Single-layer ground-truth executor.
+        num_moe_layers: MoE layers per step; defaults to the model's
+            ``num_moe_layers``.
+        overlap_efficiency: Fraction of each block's dense time usable for
+            hiding A2A (1.0 = perfect task pipelining, 0 disables overlap).
+        model_dense_compute: Model the dense blocks at all; ``False``
+            reduces the engine to stacked bare MoE layers.
+    """
+
+    def __init__(
+        self,
+        executor: StepExecutor,
+        num_moe_layers: int | None = None,
+        overlap_efficiency: float = 1.0,
+        model_dense_compute: bool = True,
+    ) -> None:
+        if num_moe_layers is not None and num_moe_layers < 1:
+            raise SimulationError("num_moe_layers must be >= 1")
+        if not 0.0 <= overlap_efficiency <= 1.0:
+            raise SimulationError("overlap_efficiency must be in [0, 1]")
+        self._executor = executor
+        self._num_layers = num_moe_layers or executor.model.num_moe_layers
+        self._overlap_efficiency = overlap_efficiency
+        self._model_dense = model_dense_compute
+        # Dense tokens/second per GPU: expert TPS rescaled by the FLOP
+        # ratio of one dense block to one expert.
+        model = executor.model
+        ratio = model.flops_per_token / model.dense_flops_per_moe_block
+        self._dense_tps = np.array(
+            [d.tokens_per_second(model) * ratio for d in executor.topology.devices]
+        )
+
+    @property
+    def executor(self) -> StepExecutor:
+        return self._executor
+
+    @property
+    def num_moe_layers(self) -> int:
+        return self._num_layers
+
+    @property
+    def overlap_efficiency(self) -> float:
+        return self._overlap_efficiency
+
+    def dense_block_time(self, source_tokens: np.ndarray) -> float:
+        """Barriered dense-computation seconds of one transformer block.
+
+        Args:
+            source_tokens: Tokens resident on each source GPU this step.
+        """
+        if not self._model_dense:
+            return 0.0
+        per_gpu = np.asarray(source_tokens, dtype=float) / self._dense_tps
+        return float(per_gpu.max()) if per_gpu.size else 0.0
+
+    def execute(
+        self,
+        layer_routes: Sequence[np.ndarray],
+        placements: Sequence[Placement],
+        adjustment_blocking: float = 0.0,
+    ) -> PipelineStepTiming:
+        """Execute one whole-transformer step and return its timing.
+
+        Args:
+            layer_routes: One ``(experts, src, dst)`` route tensor per MoE
+                layer, in layer order.
+            placements: The per-layer placements the step ran under.
+            adjustment_blocking: Non-overlapped adjustment seconds charged
+                to this step.
+        """
+        if len(layer_routes) != self._num_layers:
+            raise SimulationError(
+                f"expected routes for {self._num_layers} layers, "
+                f"got {len(layer_routes)}"
+            )
+        if len(placements) != self._num_layers:
+            raise SimulationError(
+                f"expected {self._num_layers} placements, got {len(placements)}"
+            )
+        if adjustment_blocking < 0:
+            raise SimulationError("adjustment_blocking must be >= 0")
+
+        layer_timings = []
+        dense_time = 0.0
+        hidden = 0.0
+        for routes, placement in zip(layer_routes, placements):
+            timing = self._executor.execute(routes, placement)
+            layer_timings.append(timing)
+            if self._model_dense:
+                source_tokens = np.asarray(routes, dtype=float).sum(axis=(0, 2))
+                block = self.dense_block_time(source_tokens)
+                dense_time += block
+                hidden += min(
+                    timing.a2a_time, self._overlap_efficiency * block
+                )
+        return PipelineStepTiming(
+            layer_timings=tuple(layer_timings),
+            dense_time=dense_time,
+            hidden_a2a=hidden,
+            adjustment_blocking=adjustment_blocking,
+        )

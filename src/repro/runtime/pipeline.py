@@ -1,0 +1,448 @@
+"""Multi-layer pipelined FlexMoE engine.
+
+The paper schedules placement adjustments *per MoE layer* across the whole
+transformer: every MoE layer owns its placement, its Scheduler state and
+its best-effort adjustment stream, and the adjustment traffic of all
+layers overlaps the full training-step pipeline. This module provides that
+engine:
+
+* :class:`LayerPipeline` — the per-layer unit: target/active placements,
+  Scheduler (Algorithm 1), Policy Maker with memoized what-if costs, an
+  adjustment queue pricing the layer's parameter transfers, and the
+  best-effort commit pipeline that lets the active placement lag the
+  target until the stream work is paid for. The single-layer
+  :class:`~repro.baselines.flexmoe.FlexMoESystem` is this class wrapped in
+  the ``MoESystem`` interface.
+* :class:`MultiLayerFlexMoEEngine` — one :class:`LayerPipeline` per MoE
+  layer plus a :class:`~repro.runtime.executor.PipelinedStepExecutor`
+  composing the layers into an overlap-aware whole-transformer step.
+
+See ``docs/architecture.md`` for the step timeline and overlap rules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.collectives import CollectiveCostModel
+from repro.cluster.groups import CommunicatorGroupCache
+from repro.cluster.profiler import ClusterProfile
+from repro.cluster.topology import ClusterTopology
+from repro.config import (
+    ClusterConfig,
+    MoEModelConfig,
+    SchedulerConfig,
+    auto_slots_per_gpu,
+)
+from repro.core.cost_model import MoECostModel
+from repro.core.placement import Placement
+from repro.core.policy import PolicyMaker
+from repro.core.primitives import PlacementAction
+from repro.core.router import FlexibleTokenRouter, RoutingPlan
+from repro.core.scheduler import Scheduler, SchedulingOutcome
+from repro.exceptions import SimulationError
+from repro.runtime.adjustment import AdjustmentQueue
+from repro.runtime.executor import (
+    PipelinedStepExecutor,
+    PipelineStepTiming,
+    StepExecutor,
+)
+
+
+class LayerPipeline:
+    """Scheduling + best-effort adjustment state of ONE MoE layer.
+
+    Args:
+        model: MoE architecture (sizes cost models and transfers).
+        topology: The simulated cluster.
+        profile: Noisy profiled figures driving scheduling decisions.
+        collectives: Ground-truth transfer timing for the adjustment queue.
+        scheduler_config: Scheduler knobs; auto-sizes ``slots_per_gpu``
+            exactly like the seed FlexMoE system when unset.
+        group_cache: Communicator cache charged for newly formed replica
+            groups (``None`` makes group creation free).
+        layer_index: Which MoE layer this pipeline manages (labelling).
+    """
+
+    def __init__(
+        self,
+        model: MoEModelConfig,
+        topology: ClusterTopology,
+        profile: ClusterProfile,
+        collectives: CollectiveCostModel,
+        scheduler_config: SchedulerConfig | None = None,
+        group_cache: CommunicatorGroupCache | None = None,
+        layer_index: int = 0,
+    ) -> None:
+        config = scheduler_config or SchedulerConfig()
+        # Explicit slot counts are respected as configured.
+        if config.slots_per_gpu is None:
+            config = config.replace(
+                slots_per_gpu=auto_slots_per_gpu(
+                    model.num_experts, topology.num_gpus
+                )
+            )
+        self._model = model
+        self._topology = topology
+        self._group_cache = group_cache
+        self._config = config
+        self._layer_index = layer_index
+        self._router = FlexibleTokenRouter()
+        self._cost_model = MoECostModel(profile, model)
+        # Target placement: what the scheduler plans toward. Active
+        # placement: what routing/execution actually use; commits lag by
+        # the best-effort stream's budget.
+        self._target = Placement.balanced(
+            model.num_experts, topology.num_gpus, config.slots_per_gpu
+        )
+        self._active = self._target.copy()
+        policy = PolicyMaker(self._cost_model)
+        self._scheduler = Scheduler(self._target, policy, config, topology)
+        self._queue = AdjustmentQueue(model, collectives)
+        # Each entry: [remaining_stream_seconds, actions_tuple]
+        self._pending: deque[list] = deque()
+        self._committed_actions = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def layer_index(self) -> int:
+        return self._layer_index
+
+    @property
+    def config(self) -> SchedulerConfig:
+        return self._config
+
+    @property
+    def active_placement(self) -> Placement:
+        """What routing and execution currently use."""
+        return self._active
+
+    @property
+    def target_placement(self) -> Placement:
+        """The scheduler's goal placement (active + pending actions)."""
+        return self._target
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def adjustment_queue(self) -> AdjustmentQueue:
+        return self._queue
+
+    @property
+    def cost_model(self) -> MoECostModel:
+        return self._cost_model
+
+    @property
+    def pending_actions(self) -> int:
+        """Actions emitted but not yet committed to the active placement."""
+        return sum(len(entry[1]) for entry in self._pending)
+
+    @property
+    def committed_actions(self) -> int:
+        return self._committed_actions
+
+    # ------------------------------------------------------------------
+    # Best-effort pipeline
+    # ------------------------------------------------------------------
+    def _stream_work_seconds(self, actions: tuple[PlacementAction, ...]) -> float:
+        """Background seconds needed before ``actions`` can commit:
+        parameter/optimizer transfers plus new communicator creations."""
+        self._queue.enqueue(actions)
+        report = self._queue.drain(overlap_window=0.0, best_effort=True)
+        return report.transfer_time + self._group_creation_cost()
+
+    def _group_creation_cost(self) -> float:
+        """Seconds to create communicators for new replica groups.
+
+        Creations are independent handshakes issued from the background
+        thread pool, so concurrent creations cost the slowest one, not the
+        sum.
+        """
+        if self._group_cache is None:
+            return 0.0
+        cost = 0.0
+        for group in self._target.replica_groups().values():
+            if len(group) > 1:
+                cost = max(cost, self._group_cache.acquire(group))
+        return cost
+
+    def begin_step(
+        self, assignment: np.ndarray, step_index: int
+    ) -> tuple[float, SchedulingOutcome]:
+        """Run the layer's monitoring loop for one step.
+
+        Emits beneficial placement actions into the best-effort pipeline
+        (or applies them immediately when best-effort is off) and returns
+        the seconds of blocking adjustment time plus the scheduling
+        outcome.
+        """
+        outcome = self._scheduler.on_step(assignment, step_index)
+        blocking = 0.0
+        if outcome.actions:
+            work = self._stream_work_seconds(outcome.actions)
+            if self._config.best_effort:
+                self._pending.append([work, outcome.actions])
+            else:
+                for action in outcome.actions:
+                    action.apply(self._active)
+                self._committed_actions += len(outcome.actions)
+                blocking = work
+        return blocking, outcome
+
+    def route(self, assignment: np.ndarray) -> RoutingPlan:
+        """Route ``assignment`` over the layer's ACTIVE placement."""
+        return self._router.route(assignment, self._active)
+
+    def advance_stream(self, budget: float) -> int:
+        """Spend ``budget`` seconds of stream bandwidth; commit ready actions."""
+        committed = 0
+        while self._pending and budget > 0:
+            entry = self._pending[0]
+            if entry[0] > budget:
+                entry[0] -= budget
+                budget = 0.0
+                break
+            budget -= entry[0]
+            for action in entry[1]:
+                action.apply(self._active)
+            committed += len(entry[1])
+            self._pending.popleft()
+        self._committed_actions += committed
+        return committed
+
+
+@dataclass(frozen=True)
+class PipelineStepResult:
+    """Per-step outcome of the multi-layer engine.
+
+    Attributes:
+        timing: Overlap-aware whole-transformer step timing.
+        assigned_tokens: Tokens the gates of all layers wanted processed.
+        processed_tokens: Tokens processed by their chosen experts (always
+            equal to ``assigned_tokens`` — FlexMoE never drops).
+        layer_gpu_loads: Tokens computed per GPU per layer ``(layers, gpus)``.
+        layer_locality: Per-layer fraction of tokens that stayed local.
+        layer_actions: Placement actions committed per layer this step.
+    """
+
+    timing: PipelineStepTiming
+    assigned_tokens: int
+    processed_tokens: int
+    layer_gpu_loads: np.ndarray
+    layer_locality: np.ndarray
+    layer_actions: tuple[int, ...]
+
+    @property
+    def step_time(self) -> float:
+        return self.timing.step_time
+
+    @property
+    def gpu_loads(self) -> np.ndarray:
+        """Total tokens computed per GPU across layers."""
+        return self.layer_gpu_loads.sum(axis=0)
+
+    @property
+    def token_efficiency(self) -> float:
+        if self.assigned_tokens == 0:
+            return 1.0
+        return self.processed_tokens / self.assigned_tokens
+
+    @property
+    def expert_efficiency(self) -> float:
+        """Mean-over-max GPU load across the whole step's expert compute."""
+        loads = self.gpu_loads
+        if loads.size == 0 or loads.max() == 0:
+            return 1.0
+        return float(loads.mean() / loads.max())
+
+    @property
+    def scheduling_actions(self) -> int:
+        return sum(self.layer_actions)
+
+
+class MultiLayerFlexMoEEngine:
+    """FlexMoE over every MoE layer of the transformer, pipelined.
+
+    Args:
+        executor: Ground-truth single-layer executor (supplies topology,
+            model, jitter stream and the communicator-group cache).
+        profile: Noisy profiled figures for the per-layer schedulers.
+        collectives: Ground-truth transfer timing for adjustment queues.
+        num_moe_layers: MoE layers per step; defaults to the model's
+            ``num_moe_layers``.
+        scheduler_config: Shared scheduler knobs (each layer gets its own
+            scheduler instance and placement state).
+        overlap_efficiency: Fraction of each block's dense compute usable
+            for hiding that layer's All-to-All.
+        model_dense_compute: Model the dense transformer blocks; ``False``
+            reduces the engine to stacked bare MoE layers (the seed
+            engine's semantics).
+    """
+
+    name = "FlexMoE-pipelined"
+
+    def __init__(
+        self,
+        executor: StepExecutor,
+        profile: ClusterProfile,
+        collectives: CollectiveCostModel,
+        num_moe_layers: int | None = None,
+        scheduler_config: SchedulerConfig | None = None,
+        overlap_efficiency: float = 1.0,
+        model_dense_compute: bool = True,
+    ) -> None:
+        self._executor = executor
+        self._profile = profile
+        self._collectives = collectives
+        self._scheduler_config = scheduler_config
+        self._pipe = PipelinedStepExecutor(
+            executor,
+            num_moe_layers=num_moe_layers,
+            overlap_efficiency=overlap_efficiency,
+            model_dense_compute=model_dense_compute,
+        )
+        self._layers = [
+            LayerPipeline(
+                model=executor.model,
+                topology=executor.topology,
+                profile=profile,
+                collectives=collectives,
+                scheduler_config=scheduler_config,
+                group_cache=executor.group_cache,
+                layer_index=index,
+            )
+            for index in range(self._pipe.num_moe_layers)
+        ]
+        self._steps_run = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_moe_layers(self) -> int:
+        return len(self._layers)
+
+    @property
+    def layers(self) -> tuple[LayerPipeline, ...]:
+        return tuple(self._layers)
+
+    @property
+    def pipelined_executor(self) -> PipelinedStepExecutor:
+        return self._pipe
+
+    def layer(self, index: int) -> LayerPipeline:
+        return self._layers[index]
+
+    def placements(self) -> tuple[Placement, ...]:
+        """Active per-layer placements, in layer order."""
+        return tuple(layer.active_placement for layer in self._layers)
+
+    def placement_signatures(self) -> tuple[bytes, ...]:
+        """Per-layer placement snapshots (for divergence checks)."""
+        return tuple(layer.active_placement.signature() for layer in self._layers)
+
+    def distinct_placements(self) -> int:
+        """Number of distinct active placements across layers."""
+        return len(set(self.placement_signatures()))
+
+    # ------------------------------------------------------------------
+    # Step
+    # ------------------------------------------------------------------
+    def step(self, assignments: np.ndarray, step_index: int) -> PipelineStepResult:
+        """Process one training step's gate assignments for all layers.
+
+        Args:
+            assignments: Integer tensor ``(layers, experts, gpus)`` — one
+                gate assignment matrix ``I`` per MoE layer.
+            step_index: Monotone step counter (drives static triggers).
+        """
+        assignments = np.asarray(assignments)
+        if assignments.ndim != 3 or assignments.shape[0] != len(self._layers):
+            raise SimulationError(
+                f"assignments must be ({len(self._layers)}, experts, gpus); "
+                f"got {assignments.shape}"
+            )
+
+        # Phase 1 — every layer's scheduler observes its own assignment
+        # and emits actions into its best-effort stream.
+        blocking = 0.0
+        outcomes = []
+        for layer, assignment in zip(self._layers, assignments):
+            layer_blocking, outcome = layer.begin_step(assignment, step_index)
+            blocking += layer_blocking
+            outcomes.append(outcome)
+
+        # Phase 2 — route every layer over its ACTIVE placement and play
+        # the pipelined whole-transformer step.
+        plans = [
+            layer.route(assignment)
+            for layer, assignment in zip(self._layers, assignments)
+        ]
+        timing = self._pipe.execute(
+            [plan.routes for plan in plans],
+            [layer.active_placement for layer in self._layers],
+            adjustment_blocking=blocking,
+        )
+
+        # Phase 3 — the adjustment streams ride the whole step: every
+        # layer's stream gets the full step window as transfer budget.
+        budget = timing.step_time
+        committed = tuple(
+            layer.advance_stream(budget)
+            if layer.config.best_effort
+            else len(outcome.actions)
+            for layer, outcome in zip(self._layers, outcomes)
+        )
+
+        assigned = int(assignments.sum())
+        self._steps_run += 1
+        return PipelineStepResult(
+            timing=timing,
+            assigned_tokens=assigned,
+            processed_tokens=assigned,
+            layer_gpu_loads=np.stack([plan.gpu_loads for plan in plans]),
+            layer_locality=np.array(
+                [plan.locality_fraction for plan in plans]
+            ),
+            layer_actions=committed,
+        )
+
+
+def build_engine(
+    cluster: ClusterConfig,
+    model: MoEModelConfig,
+    num_moe_layers: int | None = None,
+    scheduler_config: SchedulerConfig | None = None,
+    overlap_efficiency: float = 1.0,
+    model_dense_compute: bool = True,
+    seed: int = 0,
+    profile_noise: float = 0.02,
+    jitter: float = 0.02,
+) -> MultiLayerFlexMoEEngine:
+    """Construct a multi-layer engine with a fresh simulated substrate.
+
+    Delegates to :func:`repro.baselines.base.build_context`, so the same
+    seeds produce exactly the same profiled figures and jitter stream as
+    the single-layer systems.
+    """
+    from repro.baselines.base import build_context
+
+    context = build_context(
+        cluster, model, seed=seed, profile_noise=profile_noise, jitter=jitter
+    )
+    return MultiLayerFlexMoEEngine(
+        executor=context.executor,
+        profile=context.profile,
+        collectives=context.collectives,
+        num_moe_layers=num_moe_layers,
+        scheduler_config=scheduler_config,
+        overlap_efficiency=overlap_efficiency,
+        model_dense_compute=model_dense_compute,
+    )

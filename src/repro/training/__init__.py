@@ -14,18 +14,29 @@
 from repro.training.convergence import ConvergenceModel
 from repro.training.loop import (
     ComparisonResult,
+    PipelineRunResult,
     TrainingRunResult,
     compare_systems,
+    simulate_pipeline,
     simulate_training,
 )
-from repro.training.metrics import EfficiencyTrajectory, summarize_run
+from repro.training.metrics import (
+    EfficiencyTrajectory,
+    pipeline_phase_breakdown,
+    summarize_pipeline_run,
+    summarize_run,
+)
 
 __all__ = [
     "ComparisonResult",
     "ConvergenceModel",
     "EfficiencyTrajectory",
+    "PipelineRunResult",
     "TrainingRunResult",
     "compare_systems",
+    "pipeline_phase_breakdown",
+    "simulate_pipeline",
     "simulate_training",
+    "summarize_pipeline_run",
     "summarize_run",
 ]

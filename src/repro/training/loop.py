@@ -5,6 +5,11 @@ the per-step results. :func:`compare_systems` builds the shared substrate
 once and runs every system on the *same* trace — the paper's methodology:
 identical model, data and hyper-parameters, differing only in the training
 system.
+
+:func:`simulate_pipeline` drives the multi-layer pipelined engine through a
+:class:`~repro.workload.trace.MultiLayerTrace`, where every MoE layer of
+the transformer schedules its own placement and the layers' All-to-All /
+dense-compute / adjustment phases overlap per the paper's pipeline.
 """
 
 from __future__ import annotations
@@ -21,14 +26,17 @@ from repro.baselines.flexmoe import FlexMoESystem
 from repro.baselines.swipe import SwipeSystem
 from repro.config import ClusterConfig, MoEModelConfig, WorkloadConfig
 from repro.exceptions import SimulationError
+from repro.runtime.pipeline import MultiLayerFlexMoEEngine, PipelineStepResult
 from repro.training.convergence import ConvergenceModel
 from repro.training.metrics import (
     EfficiencyTrajectory,
+    pipeline_phase_breakdown,
+    summarize_pipeline_run,
     summarize_run,
     trajectory_from_results,
 )
 from repro.workload.synthetic import DriftingRoutingGenerator
-from repro.workload.trace import RoutingTrace
+from repro.workload.trace import MultiLayerTrace, RoutingTrace
 
 #: Factory signature for constructing a system from a context.
 SystemFactory = Callable[[SystemContext], MoESystem]
@@ -128,6 +136,80 @@ def simulate_training(
         system=system.name,
         results=tuple(results[warmup:]),
         moe_layers=moe_layers,
+    )
+
+
+@dataclass(frozen=True)
+class PipelineRunResult:
+    """Aggregated outcome of the multi-layer engine over one trace.
+
+    Unlike :class:`TrainingRunResult`, step times here already cover the
+    WHOLE transformer step (all MoE layers plus the dense blocks), so no
+    ``moe_layers`` rescaling applies.
+    """
+
+    engine: str
+    results: tuple[PipelineStepResult, ...]
+    num_moe_layers: int
+    final_placement_signatures: tuple[bytes, ...] = ()
+
+    @property
+    def step_times(self) -> np.ndarray:
+        return np.array([r.step_time for r in self.results])
+
+    @property
+    def mean_step_time(self) -> float:
+        return float(self.step_times.mean())
+
+    @property
+    def total_time(self) -> float:
+        return float(self.step_times.sum())
+
+    @property
+    def mean_token_efficiency(self) -> float:
+        return float(np.mean([r.token_efficiency for r in self.results]))
+
+    @property
+    def distinct_final_placements(self) -> int:
+        """Distinct per-layer placements at the end of the run."""
+        return len(set(self.final_placement_signatures))
+
+    def summary(self) -> dict[str, float]:
+        return summarize_pipeline_run(list(self.results))
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Mean overlap-aware step-time decomposition."""
+        return pipeline_phase_breakdown(list(self.results))
+
+
+def simulate_pipeline(
+    engine: MultiLayerFlexMoEEngine,
+    trace: MultiLayerTrace,
+    warmup: int = 0,
+) -> PipelineRunResult:
+    """Run the multi-layer engine over every step of ``trace``.
+
+    Args:
+        engine: The pipelined engine (one scheduler per MoE layer).
+        trace: Per-layer per-step token assignments; its layer count must
+            match the engine's.
+        warmup: Initial steps executed but excluded from the aggregates.
+    """
+    if trace.num_layers != engine.num_moe_layers:
+        raise SimulationError(
+            f"trace has {trace.num_layers} layers but the engine expects "
+            f"{engine.num_moe_layers}"
+        )
+    if not 0 <= warmup < trace.num_steps:
+        raise SimulationError(
+            f"warmup must be in [0, {trace.num_steps}), got {warmup}"
+        )
+    results = [engine.step(trace.step(t), t) for t in range(trace.num_steps)]
+    return PipelineRunResult(
+        engine=engine.name,
+        results=tuple(results[warmup:]),
+        num_moe_layers=engine.num_moe_layers,
+        final_placement_signatures=engine.placement_signatures(),
     )
 
 

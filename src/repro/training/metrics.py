@@ -14,11 +14,15 @@ Figure 2:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.baselines.base import StepResult
 from repro.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.pipeline import PipelineStepResult
 
 
 @dataclass(frozen=True)
@@ -89,3 +93,61 @@ def summarize_run(results: list[StepResult]) -> dict[str, float]:
         "diverted_tokens": float(sum(r.diverted_tokens for r in results)),
         "scheduling_actions": float(sum(r.scheduling_actions for r in results)),
     }
+
+
+def pipeline_phase_breakdown(
+    results: Sequence["PipelineStepResult"],
+) -> dict[str, float]:
+    """Mean overlap-aware phase decomposition of a multi-layer run.
+
+    Averages the :meth:`~repro.runtime.executor.PipelineStepTiming.breakdown`
+    of every step: dense compute, expert compute, exposed vs hidden
+    All-to-All, gradient sync and adjustment blocking — the step-time
+    anatomy the paper's pipeline overlaps.
+    """
+    if not results:
+        raise SimulationError("no step results")
+    breakdowns = [r.timing.breakdown() for r in results]
+    return {
+        key: float(np.mean([b[key] for b in breakdowns]))
+        for key in breakdowns[0]
+    }
+
+
+def summarize_pipeline_run(
+    results: Sequence["PipelineStepResult"],
+) -> dict[str, float]:
+    """Aggregate statistics of one multi-layer pipelined run."""
+    if not results:
+        raise SimulationError("no step results")
+    step_times = np.array([r.step_time for r in results])
+    summary = {
+        "steps": float(len(results)),
+        "moe_layers": float(results[0].timing.num_layers),
+        "mean_step_time": float(step_times.mean()),
+        "p95_step_time": float(np.percentile(step_times, 95)),
+        "total_time": float(step_times.sum()),
+        "mean_token_efficiency": float(
+            np.mean([r.token_efficiency for r in results])
+        ),
+        "mean_expert_efficiency": float(
+            np.mean([r.expert_efficiency for r in results])
+        ),
+        "mean_utilization": float(
+            np.mean([r.timing.compute_utilization for r in results])
+        ),
+        "mean_overlap_savings": float(
+            np.mean([r.timing.overlap_savings for r in results])
+        ),
+        "mean_locality": float(
+            np.mean([r.layer_locality.mean() for r in results])
+        ),
+        "scheduling_actions": float(
+            sum(r.scheduling_actions for r in results)
+        ),
+    }
+    summary.update(
+        {f"mean_{k}": v for k, v in pipeline_phase_breakdown(results).items()
+         if k != "step_time"}
+    )
+    return summary

@@ -21,20 +21,23 @@ from repro.workload.stats import TraceStats, analyze_trace
 from repro.workload.synthetic import (
     DriftingRoutingGenerator,
     expert_load_cdf,
+    make_multilayer_trace,
     make_trace,
     stationary_skewed_probs,
     top_share,
 )
-from repro.workload.trace import RoutingTrace
+from repro.workload.trace import MultiLayerTrace, RoutingTrace
 
 __all__ = [
     "ClusterClassificationDataset",
     "DriftingRoutingGenerator",
     "MarkovLMDataset",
+    "MultiLayerTrace",
     "RoutingTrace",
     "TraceStats",
     "analyze_trace",
     "expert_load_cdf",
+    "make_multilayer_trace",
     "make_trace",
     "stationary_skewed_probs",
     "top_share",

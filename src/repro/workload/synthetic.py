@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.config import WorkloadConfig
 from repro.exceptions import ConfigurationError
-from repro.workload.trace import RoutingTrace
+from repro.workload.trace import MultiLayerTrace, RoutingTrace
 
 
 def stationary_skewed_probs(
@@ -228,3 +228,46 @@ def make_trace(
     if overrides:
         cfg = cfg.replace(**overrides)
     return DriftingRoutingGenerator(num_experts, num_gpus, cfg).generate()
+
+
+#: Seed offset between adjacent layers' generators. Large enough that the
+#: per-layer popularity permutations are effectively independent.
+LAYER_SEED_STRIDE = 7919
+
+
+def make_multilayer_trace(
+    num_layers: int,
+    num_experts: int,
+    num_gpus: int,
+    config: WorkloadConfig | None = None,
+    **overrides: object,
+) -> MultiLayerTrace:
+    """Generate one drifting routing trace per MoE layer.
+
+    Each layer runs its own :class:`DriftingRoutingGenerator` with a
+    layer-offset seed, so the Zipf popularity *ranking* is permuted
+    independently per layer — the paper's observation that which experts
+    run hot is uncorrelated across layers, which is exactly why per-layer
+    placements diverge under the multi-layer scheduler.
+
+    Args:
+        num_layers: MoE layers in the transformer.
+        num_experts: Experts per MoE layer.
+        num_gpus: Source GPUs.
+        config: Base workload config shared by every layer.
+        **overrides: Field overrides applied to ``config``.
+    """
+    if num_layers < 1:
+        raise ConfigurationError("num_layers must be >= 1")
+    cfg = config or WorkloadConfig()
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    layers = [
+        DriftingRoutingGenerator(
+            num_experts,
+            num_gpus,
+            cfg.replace(seed=cfg.seed + layer * LAYER_SEED_STRIDE),
+        ).generate()
+        for layer in range(num_layers)
+    ]
+    return MultiLayerTrace.from_layers(layers)

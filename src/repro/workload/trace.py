@@ -1,15 +1,20 @@
-"""Routing-trace container.
+"""Routing-trace containers.
 
 A :class:`RoutingTrace` records, for every training step, the token
 assignment matrix ``I`` whose entry ``I[e, g]`` is the number of tokens that
 source GPU ``g`` routes to expert ``e`` — exactly the quantity the paper's
 Scheduler monitors (Algorithm 1's input ``I``).
+
+A :class:`MultiLayerTrace` stacks one such trace per MoE layer of the
+transformer: routing is observed (and placements are adjusted) per layer,
+and expert popularity is uncorrelated across layers, so every layer carries
+its own assignment history over the shared step/expert/GPU axes.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -120,4 +125,132 @@ class RoutingTrace:
         return (
             f"RoutingTrace(steps={self.num_steps}, experts={self.num_experts}, "
             f"gpus={self.num_gpus})"
+        )
+
+
+class MultiLayerTrace:
+    """Immutable per-layer, per-step token-assignment history.
+
+    Args:
+        assignments: Integer array of shape
+            ``(num_layers, num_steps, num_experts, num_gpus)``; entry
+            ``[l, t, e, g]`` is the number of tokens GPU ``g`` sends to
+            expert ``e`` of MoE layer ``l`` at step ``t``.
+    """
+
+    def __init__(self, assignments: np.ndarray) -> None:
+        arr = np.asarray(assignments)
+        if arr.ndim != 4:
+            raise RoutingError(
+                f"assignments must have shape (layers, steps, experts, gpus); "
+                f"got ndim={arr.ndim}"
+            )
+        if arr.size and arr.min() < 0:
+            raise RoutingError("token counts must be non-negative")
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.allclose(arr, np.round(arr)):
+                raise RoutingError("token counts must be integral")
+            arr = np.round(arr).astype(np.int64)
+        self._assignments = arr.astype(np.int64, copy=True)
+        self._assignments.setflags(write=False)
+
+    @classmethod
+    def from_layers(cls, layers: Sequence[RoutingTrace]) -> "MultiLayerTrace":
+        """Stack per-layer :class:`RoutingTrace` objects into one trace."""
+        if not layers:
+            raise RoutingError("at least one layer trace is required")
+        frames = [
+            np.stack([layer.step(t) for t in range(layer.num_steps)])
+            for layer in layers
+        ]
+        shapes = {frame.shape for frame in frames}
+        if len(shapes) != 1:
+            raise RoutingError(
+                f"layer traces disagree on shape: {sorted(shapes)}"
+            )
+        return cls(np.stack(frames))
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return self._assignments.shape[0]
+
+    @property
+    def num_steps(self) -> int:
+        return self._assignments.shape[1]
+
+    @property
+    def num_experts(self) -> int:
+        return self._assignments.shape[2]
+
+    @property
+    def num_gpus(self) -> int:
+        return self._assignments.shape[3]
+
+    def __len__(self) -> int:
+        return self.num_steps
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def step(self, t: int) -> np.ndarray:
+        """Assignments of all layers at step ``t``: ``(layers, experts, gpus)``."""
+        if not 0 <= t < self.num_steps:
+            raise RoutingError(f"step {t} out of range [0, {self.num_steps})")
+        return self._assignments[:, t]
+
+    def layer(self, index: int) -> RoutingTrace:
+        """The single-layer :class:`RoutingTrace` of MoE layer ``index``."""
+        if not 0 <= index < self.num_layers:
+            raise RoutingError(
+                f"layer {index} out of range [0, {self.num_layers})"
+            )
+        return RoutingTrace(self._assignments[index])
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for t in range(self.num_steps):
+            yield self._assignments[:, t]
+
+    def expert_loads(self) -> np.ndarray:
+        """Per-layer per-step per-expert totals ``(layers, steps, experts)``."""
+        return self._assignments.sum(axis=3)
+
+    def tokens_per_step(self) -> np.ndarray:
+        """Total token count of each step across all layers."""
+        return self._assignments.sum(axis=(0, 2, 3))
+
+    def slice(self, start: int, stop: int) -> "MultiLayerTrace":
+        """Sub-trace covering steps ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.num_steps:
+            raise RoutingError(
+                f"invalid slice [{start}, {stop}) for {self.num_steps} steps"
+            )
+        return MultiLayerTrace(self._assignments[:, start:stop])
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the trace as a compressed ``.npz`` file."""
+        np.savez_compressed(Path(path), layer_assignments=self._assignments)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MultiLayerTrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            if "layer_assignments" not in data:
+                raise RoutingError(f"{path} is not a multi-layer trace file")
+            return cls(data["layer_assignments"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiLayerTrace):
+            return NotImplemented
+        return np.array_equal(self._assignments, other._assignments)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiLayerTrace(layers={self.num_layers}, steps={self.num_steps}, "
+            f"experts={self.num_experts}, gpus={self.num_gpus})"
         )

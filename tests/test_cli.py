@@ -1,0 +1,70 @@
+"""CLI smoke tests: python -m repro run|bench|compare."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+RUN_ARGS = [
+    "run",
+    "--layers", "2",
+    "--experts", "8",
+    "--gpus", "4",
+    "--steps", "4",
+    "--tokens-per-gpu", "4096",
+    "--d-model", "256",
+    "--d-ffn", "1024",
+    "--warmup", "1",
+]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_json(capsys):
+    assert main(RUN_ARGS + ["--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["mean_step_time"] > 0
+    assert payload["moe_layers"] == 2.0
+    assert "mean_overlap_savings" in payload
+    assert "distinct_final_placements" in payload
+
+
+def test_run_human_readable(capsys):
+    assert main(RUN_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "step-time breakdown" in out
+    assert "distinct per-layer placements" in out
+
+
+def test_run_no_overlap_flag(capsys):
+    assert main(RUN_ARGS + ["--no-overlap", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["mean_a2a_hidden"] == 0.0
+
+
+def test_bench_json(capsys):
+    args = ["bench", "--experts", "8", "--gpus", "4", "--repeats", "3", "--json"]
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["vectorized_ms"] > 0
+    assert payload["reference_ms"] > 0
+    assert payload["speedup"] > 0
+
+
+def test_compare_json(capsys):
+    args = [
+        "compare", "--gpus", "4", "--experts", "8", "--steps", "4", "--json",
+    ]
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "FlexMoE" in payload
+    assert payload["FlexMoE"]["mean_step_time"] > 0
+
+
+def test_compare_unknown_model_errors(capsys):
+    assert main(["compare", "--model", "no-such-model"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Cost-model memoization: cached evaluations must equal uncached ones."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.profiler import Profiler
+from repro.cluster.topology import ClusterTopology
+from repro.config import ClusterConfig, MoEModelConfig
+from repro.core.cost_model import MemoizedStepCost, MoECostModel
+from repro.core.placement import Placement
+from repro.core.policy import PolicyMaker
+from repro.core.router import FlexibleTokenRouter
+from repro.exceptions import ConfigurationError
+
+MODEL = MoEModelConfig("memo", num_layers=2, d_model=256, d_ffn=1024, num_experts=8)
+CLUSTER = ClusterConfig(num_nodes=1, gpus_per_node=4)
+
+
+@pytest.fixture
+def cost_model() -> MoECostModel:
+    topology = ClusterTopology(CLUSTER)
+    profile = Profiler(topology, noise=0.0, seed=0).profile(MODEL)
+    return MoECostModel(profile, MODEL)
+
+
+def test_memo_matches_uncached(cost_model, rng):
+    router = FlexibleTokenRouter()
+    memo = MemoizedStepCost(cost_model, router)
+    for _ in range(20):
+        placement = Placement.balanced(8, 4, int(rng.integers(2, 5)))
+        assignment = rng.integers(0, 3000, (8, 4))
+        uncached = cost_model.step_time(
+            router.route_fractional(assignment, placement), placement
+        )
+        assert memo.step_time(assignment, placement) == uncached
+        # Replay: the cached value must be bit-identical too.
+        assert memo.step_time(assignment, placement) == uncached
+
+
+def test_hit_and_miss_accounting(cost_model, rng):
+    memo = MemoizedStepCost(cost_model)
+    placement = Placement.balanced(8, 4, 2)
+    a = rng.integers(0, 1000, (8, 4))
+    b = rng.integers(0, 1000, (8, 4))
+    memo.step_time(a, placement)
+    memo.step_time(a, placement)
+    memo.step_time(b, placement)
+    assert memo.misses == 2
+    assert memo.hits == 1
+    assert memo.hit_rate == pytest.approx(1 / 3)
+    assert len(memo) == 2
+
+
+def test_distinct_placements_are_distinct_keys(cost_model, rng):
+    memo = MemoizedStepCost(cost_model)
+    assignment = rng.integers(0, 1000, (8, 4))
+    balanced = Placement.balanced(8, 4, 4)  # two replicas per expert
+    shifted = balanced.copy()
+    shifted.remove_vexpert(0, balanced.gpus_of(0)[0])
+    shifted.add_vexpert(1, balanced.gpus_of(0)[0])
+    memo.step_time(assignment, balanced)
+    memo.step_time(assignment, shifted)
+    assert memo.misses == 2
+
+
+def test_lru_eviction(cost_model, rng):
+    memo = MemoizedStepCost(cost_model, capacity=2)
+    placement = Placement.balanced(8, 4, 2)
+    frames = [rng.integers(0, 1000, (8, 4)) for _ in range(3)]
+    for frame in frames:
+        memo.step_time(frame, placement)
+    assert len(memo) == 2
+    # The oldest entry was evicted: querying it again misses.
+    memo.step_time(frames[0], placement)
+    assert memo.misses == 4
+
+
+def test_clear(cost_model, rng):
+    memo = MemoizedStepCost(cost_model)
+    memo.step_time(rng.integers(0, 1000, (8, 4)), Placement.balanced(8, 4, 2))
+    memo.clear()
+    assert len(memo) == 0
+    assert memo.hits == 0 and memo.misses == 0
+
+
+def test_capacity_validated(cost_model):
+    with pytest.raises(ConfigurationError):
+        MemoizedStepCost(cost_model, capacity=0)
+
+
+def test_policy_maker_uses_memo(cost_model, rng):
+    policy = PolicyMaker(cost_model)
+    placement = Placement.balanced(8, 4, 4)
+    assignment = rng.integers(0, 5000, (8, 4))
+    policy.make_plan(assignment, placement)
+    first_misses = policy.memo.misses
+    assert first_misses > 0
+    # Same query again: the search replays entirely from the memo.
+    policy.make_plan(assignment, placement)
+    assert policy.memo.misses == first_misses
+    assert policy.memo.hits > 0
+
+
+def test_policy_decisions_unchanged_by_memo(cost_model, rng):
+    # Two fresh policy makers (cold caches) agree; and a warm cache gives
+    # the same plan as a cold one.
+    placement = Placement.balanced(8, 4, 4)
+    assignment = rng.integers(0, 5000, (8, 4))
+    cold = PolicyMaker(cost_model).make_plan(assignment, placement.copy())
+    warm_policy = PolicyMaker(cost_model)
+    warm_policy.make_plan(assignment, placement.copy())
+    warm = warm_policy.make_plan(assignment, placement.copy())
+    assert cold.actions == warm.actions
+    assert cold.time_after == warm.time_after

@@ -1,0 +1,47 @@
+"""Docs conventions and README quickstart drift, as a tier-1 guard.
+
+CI runs ``tools/check_docs.py`` standalone; this test keeps the same
+guarantees inside the tier-1 suite so drift is caught locally too.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_encoding_conventions():
+    check = load_check_docs()
+    problems = []
+    for path in check.doc_paths():
+        problems.extend(check.check_encoding(path))
+    assert problems == []
+
+
+def test_readme_quickstart_runs():
+    check = load_check_docs()
+    assert check.check_quickstart(REPO / "README.md") == []
+
+
+def test_module_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    for command in ("run", "bench", "compare"):
+        assert command in result.stdout

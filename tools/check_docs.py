@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Docs checks: encoding conventions + README quickstart drift.
+
+Two guarantees, both enforced in CI (see CONTRIBUTING.md):
+
+1. User-facing docs (README.md, CONTRIBUTING.md, docs/*.md) are valid
+   UTF-8 and free of mojibake-prone characters: smart quotes, curly
+   apostrophes, em/en dashes, non-breaking spaces and the U+FFFD
+   replacement character. SNIPPETS.md and PAPERS.md are quarantined
+   scratch references and deliberately NOT checked.
+2. The README quickstart snippet (fenced python blocks between the
+   ``<!-- quickstart:begin -->`` / ``<!-- quickstart:end -->`` markers)
+   actually runs against the current API.
+
+Exit status 0 on success, 1 with a report on any failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: User-facing docs subject to the encoding conventions.
+DOC_FILES = ("README.md", "CONTRIBUTING.md")
+DOC_GLOBS = ("docs/*.md",)
+
+#: Characters that betray copy-paste from rendered PDFs / word processors.
+FORBIDDEN = {
+    "‘": "left smart quote",
+    "’": "right smart quote / curly apostrophe",
+    "“": "left smart double quote",
+    "”": "right smart double quote",
+    "–": "en dash",
+    "—": "em dash",
+    " ": "non-breaking space",
+    "�": "replacement character (mojibake)",
+}
+
+QUICKSTART_RE = re.compile(
+    r"<!-- quickstart:begin -->(.*?)<!-- quickstart:end -->", re.DOTALL
+)
+CODE_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def doc_paths() -> list[Path]:
+    paths = [REPO / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        paths.extend(sorted(REPO.glob(pattern)))
+    return [p for p in paths if p.exists()]
+
+
+def check_encoding(path: Path) -> list[str]:
+    problems = []
+    try:
+        text = path.read_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        return [f"{path.name}: not valid UTF-8 ({exc})"]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for char, label in FORBIDDEN.items():
+            if char in line:
+                problems.append(
+                    f"{path.name}:{lineno}: {label} (U+{ord(char):04X})"
+                )
+    return problems
+
+
+def check_quickstart(readme: Path) -> list[str]:
+    text = readme.read_text(encoding="utf-8")
+    region = QUICKSTART_RE.search(text)
+    if region is None:
+        return ["README.md: quickstart markers not found"]
+    blocks = CODE_BLOCK_RE.findall(region.group(1))
+    if not blocks:
+        return ["README.md: no python code block inside quickstart markers"]
+    sys.path.insert(0, str(REPO / "src"))
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"<quickstart block {index}>", "exec"), {})
+        except Exception as exc:  # drifted API, typo, anything
+            return [
+                f"README.md quickstart block {index} failed to run: "
+                f"{type(exc).__name__}: {exc}"
+            ]
+    return []
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in doc_paths():
+        problems.extend(check_encoding(path))
+    problems.extend(check_quickstart(REPO / "README.md"))
+    if problems:
+        print("docs check FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs check OK ({len(doc_paths())} files, quickstart ran)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
