@@ -35,18 +35,27 @@ placement; All-to-All overlaps the dense blocks)::
     run = pipeline_simulation(num_moe_layers=4, num_gpus=16, num_experts=32)
     print(run.phase_breakdown())
 
-Or from the command line: ``python -m repro run|bench|compare``.
+Elastic-cluster scenarios (device failures, stragglers, recoveries;
+see ``docs/elasticity.md``)::
+
+    from repro import faults_simulation
+    result = faults_simulation(num_gpus=8, num_experts=16, num_steps=40)
+    print(result.summary())
+
+Or from the command line: ``python -m repro run|bench|compare|faults``.
 """
 
 from repro.config import (
     ClusterConfig,
     DeviceSpec,
+    FaultConfig,
     MoEModelConfig,
     SchedulerConfig,
     WorkloadConfig,
 )
 from repro.exceptions import (
     ConfigurationError,
+    ElasticityError,
     ModelError,
     PlacementError,
     ProfilingError,
@@ -57,12 +66,14 @@ from repro.exceptions import (
     TopologyError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",
     "ConfigurationError",
     "DeviceSpec",
+    "ElasticityError",
+    "FaultConfig",
     "MoEModelConfig",
     "ModelError",
     "PlacementError",
@@ -75,6 +86,7 @@ __all__ = [
     "TopologyError",
     "WorkloadConfig",
     "__version__",
+    "faults_simulation",
     "pipeline_simulation",
     "quick_simulation",
 ]
@@ -100,6 +112,30 @@ def pipeline_simulation(
         num_gpus=num_gpus,
         num_experts=num_experts,
         num_steps=num_steps,
+        seed=seed,
+    )
+
+
+def faults_simulation(
+    num_gpus: int = 8,
+    num_experts: int = 16,
+    num_steps: int = 50,
+    faults: "FaultConfig | None" = None,
+    seed: int = 0,
+):
+    """Run a seeded failure/straggler scenario: elastic FlexMoE vs Static.
+
+    A convenience entry point for the elasticity quickstart; see
+    :func:`repro.bench.harness.faults_run` for every knob and
+    ``docs/elasticity.md`` for the scenario model.
+    """
+    from repro.bench.harness import faults_run
+
+    return faults_run(
+        num_gpus=num_gpus,
+        num_experts=num_experts,
+        num_steps=num_steps,
+        faults=faults,
         seed=seed,
     )
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.collectives import CollectiveCostModel
+from repro.cluster.events import ClusterState
 from repro.cluster.groups import CommunicatorGroupCache
 from repro.cluster.profiler import ClusterProfile, Profiler
 from repro.cluster.topology import ClusterTopology
@@ -39,6 +40,9 @@ class SystemContext:
         profile: *Noisy* profiled figures — what scheduling decisions see.
         executor: Ground-truth step execution — what actually happens.
         collectives: Ground-truth communication timing.
+        cluster_state: Live view of the device pool, shared between the
+            executor and any elastic-aware consumer; ``None`` keeps the
+            pool frozen at construction (the paper's setting).
     """
 
     topology: ClusterTopology
@@ -46,6 +50,7 @@ class SystemContext:
     profile: ClusterProfile
     executor: StepExecutor
     collectives: CollectiveCostModel
+    cluster_state: ClusterState | None = None
 
 
 def build_context(
@@ -55,13 +60,19 @@ def build_context(
     profile_noise: float = 0.02,
     jitter: float = 0.02,
     group_cache_capacity: int = 64,
+    cluster_state: ClusterState | None = None,
 ) -> SystemContext:
     """Construct the full substrate for one experiment."""
     topology = ClusterTopology(cluster)
     profile = Profiler(topology, noise=profile_noise, seed=seed).profile(model)
     cache = CommunicatorGroupCache(capacity=group_cache_capacity)
     executor = StepExecutor(
-        topology, model, jitter=jitter, seed=seed + 1, group_cache=cache
+        topology,
+        model,
+        jitter=jitter,
+        seed=seed + 1,
+        group_cache=cache,
+        cluster_state=cluster_state,
     )
     return SystemContext(
         topology=topology,
@@ -69,6 +80,7 @@ def build_context(
         profile=profile,
         executor=executor,
         collectives=CollectiveCostModel(topology),
+        cluster_state=cluster_state,
     )
 
 

@@ -12,15 +12,20 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.baselines import (
     ExpertParallelSystem,
     FasterMoESystem,
     FlexMoESystem,
     SwipeSystem,
 )
+from repro.cluster.events import ElasticitySchedule
 from repro.config import (
     ClusterConfig,
+    FaultConfig,
     MoEModelConfig,
+    SchedulerConfig,
     WorkloadConfig,
     auto_slots_per_gpu,
 )
@@ -80,15 +85,37 @@ FULL = ExperimentScale(
 )
 
 
-def cluster_for(num_gpus: int) -> ClusterConfig:
-    """Paper-shaped cluster: 8 GPUs per node."""
+def cluster_for(
+    num_gpus: int, slow_gpus: int = 0, slow_factor: float = 1.0
+) -> ClusterConfig:
+    """Paper-shaped cluster: 8 GPUs per node.
+
+    Args:
+        num_gpus: Cluster size (< 8, or a multiple of 8).
+        slow_gpus: Static heterogeneity — this many devices (the highest
+            indices) run at ``slow_factor`` of nominal compute throughput,
+            modelling a previous-generation partition.
+        slow_factor: Compute multiplier of the slow devices.
+    """
     if num_gpus % 8 == 0:
-        return ClusterConfig(num_nodes=num_gpus // 8, gpus_per_node=8)
-    if num_gpus < 8:
-        return ClusterConfig(num_nodes=1, gpus_per_node=num_gpus)
-    raise ConfigurationError(
-        f"num_gpus must be < 8 or a multiple of 8, got {num_gpus}"
-    )
+        config = ClusterConfig(num_nodes=num_gpus // 8, gpus_per_node=8)
+    elif num_gpus < 8:
+        config = ClusterConfig(num_nodes=1, gpus_per_node=num_gpus)
+    else:
+        raise ConfigurationError(
+            f"num_gpus must be < 8 or a multiple of 8, got {num_gpus}"
+        )
+    if slow_gpus:
+        if not 0 < slow_gpus < num_gpus:
+            raise ConfigurationError(
+                f"slow_gpus must be in (0, {num_gpus}), got {slow_gpus}"
+            )
+        scales = tuple(
+            slow_factor if g >= num_gpus - slow_gpus else 1.0
+            for g in range(num_gpus)
+        )
+        config = config.replace(compute_scales=scales)
+    return config
 
 
 #: The Figure 5 line-up.
@@ -243,6 +270,199 @@ def pipeline_run(
         ),
     )
     return simulate_pipeline(engine, trace, warmup=min(warmup, num_steps - 1))
+
+
+@dataclass(frozen=True)
+class FaultsRunResult:
+    """Outcome of one failure/straggler scenario (FlexMoE vs Static).
+
+    Attributes:
+        flexmoe: Elastic FlexMoE engine run (dynamic scheduling on).
+        baseline: Identical engine/substrate/trace with scheduling
+            disabled — forced eviction still happens (routing to a dead
+            device is never valid), but nothing rebalances afterwards.
+        schedule: The elasticity event stream both runs consumed.
+        num_gpus: Cluster size.
+        warmup: Cold-start steps excluded from the phase aggregates.
+        flexmoe_rehomed: At the end of the FlexMoE run, every expert
+            still holds the elastic replication floor (two distinct live
+            devices, capped by the pool size) -- i.e. the failures'
+            replica losses were genuinely rebuilt on the survivors.
+        baseline_rehomed: Same for the static baseline.
+    """
+
+    flexmoe: PipelineRunResult
+    baseline: PipelineRunResult
+    schedule: ElasticitySchedule
+    num_gpus: int
+    warmup: int
+    flexmoe_rehomed: bool
+    baseline_rehomed: bool
+
+    def _phases(self, times: np.ndarray) -> dict[str, float]:
+        """Pre-failure / disruption / final step-time aggregates."""
+        n = times.size
+        fail = self.schedule.first_failure_step()
+        tail = times[max(n - max(5, n // 5), 0):]
+        phases = {"final": float(tail.mean())}
+        if fail is not None and self.warmup < fail < n:
+            pre = times[self.warmup:fail]
+            window = times[fail:min(fail + 5, n)]
+            phases["pre_failure"] = float(pre.mean())
+            phases["disruption_peak"] = float(window.max())
+            phases["recovered"] = float(
+                phases["final"] < phases["disruption_peak"]
+            )
+        return phases
+
+    def summary(self) -> dict[str, object]:
+        """Per-system phase aggregates plus the recovery verdict."""
+        fx = self._phases(self.flexmoe.step_times)
+        bl = self._phases(self.baseline.step_times)
+        fx["rehomed"] = float(self.flexmoe_rehomed)
+        bl["rehomed"] = float(self.baseline_rehomed)
+        actions = float(
+            sum(r.scheduling_actions for r in self.flexmoe.results)
+        )
+        return {
+            "num_gpus": float(self.num_gpus),
+            "num_events": float(len(self.schedule)),
+            "first_failure_step": self.schedule.first_failure_step(),
+            "flexmoe": fx,
+            "baseline": bl,
+            "flexmoe_actions": actions,
+            "final_speedup": (
+                bl["final"] / fx["final"] if fx["final"] > 0 else float("inf")
+            ),
+            "ok": bool(
+                self.flexmoe_rehomed
+                and fx.get("recovered", 1.0) > 0
+                and actions > 0
+            ),
+        }
+
+
+def _placements_rehomed(engine, min_replicas: int) -> bool:
+    """Every expert is fully re-homed on the *live* pool.
+
+    Eviction guarantees nothing maps to a dead device, so the meaningful
+    check is the replication floor: after however many failures the run
+    injected, every layer's active placement must keep each expert on at
+    least ``min_replicas`` distinct live devices (capped by the pool
+    size). A silently-lost replica that the rescue machinery failed to
+    rebuild fails this check.
+    """
+    state = engine.cluster_state
+    if state is None:
+        return True
+    live = state.live_mask()
+    num_live = int(live.sum())
+    for placement in engine.placements():
+        # The floor is capped by what the surviving pool can even hold:
+        # after enough permanent failures the slots may not fit two
+        # replicas of every expert, and that is capacity loss, not a
+        # re-homing failure.
+        feasible = num_live * placement.slots_per_gpu // placement.num_experts
+        floor = min(min_replicas, num_live, feasible)
+        live_counts = placement.counts[:, live]
+        if (live_counts.sum(axis=1) < 1).any():
+            return False
+        if ((live_counts > 0).sum(axis=1) < max(floor, 1)).any():
+            return False
+    return True
+
+
+def faults_run(
+    num_moe_layers: int = 2,
+    num_gpus: int = 8,
+    num_experts: int = 16,
+    num_steps: int = 50,
+    tokens_per_gpu: int = 16_384,
+    d_model: int = 1024,
+    d_ffn: int = 4096,
+    warmup: int = 5,
+    faults: FaultConfig | None = None,
+    slow_gpus: int = 0,
+    slow_factor: float = 0.6,
+    spike_period: int | None = None,
+    seed: int = 0,
+) -> FaultsRunResult:
+    """Run one seeded failure/straggler scenario: FlexMoE vs Static.
+
+    Both engines consume the identical elasticity schedule, trace and
+    (seed-matched) substrate; they differ only in whether the dynamic
+    placement machinery is allowed to react. Deterministic under a fixed
+    seed.
+    """
+    from repro.runtime.pipeline import build_engine
+
+    if faults is None:
+        faults = FaultConfig(
+            num_failures=1,
+            failure_step=max(5, num_steps // 4),
+            recovery_steps=max(5, num_steps // 4),
+            num_stragglers=1,
+            straggler_factor=0.5,
+            straggler_step=max(2, num_steps // 10),
+            seed=seed,
+        )
+    cluster = cluster_for(num_gpus, slow_gpus=slow_gpus, slow_factor=slow_factor)
+    schedule = ElasticitySchedule.from_fault_config(faults, num_gpus)
+    model = MoEModelConfig(
+        name=f"faults-{num_moe_layers}L-{num_experts}e",
+        num_layers=2 * num_moe_layers,
+        d_model=d_model,
+        d_ffn=d_ffn,
+        num_experts=num_experts,
+    )
+    trace = make_multilayer_trace(
+        num_moe_layers,
+        num_experts,
+        num_gpus,
+        WorkloadConfig(
+            tokens_per_step=tokens_per_gpu * num_gpus,
+            num_steps=num_steps,
+            spike_period=spike_period,
+            seed=seed,
+        ),
+    )
+
+    # Two extra slots per GPU beyond the auto-sizing: the elastic
+    # replication floor (min_replicas=2) pins cold experts at two copies,
+    # so without slack the Expand/Shrink loop would have nothing to move.
+    slots = auto_slots_per_gpu(num_experts, num_gpus) + 2
+    flexmoe = build_engine(
+        cluster, model, num_moe_layers=num_moe_layers,
+        scheduler_config=SchedulerConfig(
+            speed_aware_balance=True, min_replicas=2, slots_per_gpu=slots
+        ),
+        elasticity=schedule, seed=seed,
+    )
+    flexmoe.name = "FlexMoE"
+    # Scheduling off: an unreachable trigger threshold and no Migrate pass.
+    static = build_engine(
+        cluster, model, num_moe_layers=num_moe_layers,
+        scheduler_config=SchedulerConfig(
+            balance_threshold=1e9, migrate=False,
+            min_replicas=2, slots_per_gpu=slots,
+        ),
+        elasticity=schedule, seed=seed,
+    )
+    static.name = "Static"
+
+    # Warmup stays 0 so result step indices align with event steps; the
+    # phase aggregates apply the warmup themselves.
+    flex_result = simulate_pipeline(flexmoe, trace, warmup=0)
+    static_result = simulate_pipeline(static, trace, warmup=0)
+    return FaultsRunResult(
+        flexmoe=flex_result,
+        baseline=static_result,
+        schedule=schedule,
+        num_gpus=num_gpus,
+        warmup=min(warmup, num_steps - 1),
+        flexmoe_rehomed=_placements_rehomed(flexmoe, min_replicas=2),
+        baseline_rehomed=_placements_rehomed(static, min_replicas=2),
+    )
 
 
 def quick_comparison(

@@ -1,13 +1,16 @@
 """Command-line entry point: ``python -m repro``.
 
-Three subcommands expose the simulation engine without writing any code:
+Four subcommands expose the simulation engine without writing any code:
 
 * ``run``     — multi-layer pipelined FlexMoE run with an overlap-aware
   step-time breakdown and per-layer placement divergence;
 * ``bench``   — the routing microbenchmark (vectorized vs reference
   router), plus ``--smoke`` for the fast end-to-end suite CI runs;
 * ``compare`` — the paper's system line-up (DeepSpeed-style expert
-  parallelism / FasterMoE / FlexMoE) on one workload.
+  parallelism / FasterMoE / FlexMoE) on one workload;
+* ``faults``  — the elastic-cluster scenario engine: seeded device
+  failures, recoveries and stragglers injected into identical FlexMoE
+  and static runs (see ``docs/elasticity.md``).
 
 Every benchmark in ``benchmarks/`` and example in ``examples/`` builds on
 the same harness functions these commands call, so the CLI is the quickest
@@ -25,11 +28,13 @@ from typing import Sequence
 
 from repro.bench.harness import (
     SMOKE,
+    faults_run,
     figure5_comparison,
     pipeline_run,
     quick_comparison,
     router_microbenchmark,
 )
+from repro.config import FaultConfig
 from repro.exceptions import ReproError
 from repro.model.zoo import MODEL_ZOO
 
@@ -111,6 +116,68 @@ def _add_compare_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json", action="store_true")
 
 
+def _add_faults_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "faults",
+        help="failure/straggler scenarios on an elastic cluster",
+        description=(
+            "Inject a seeded elasticity schedule (device failures, "
+            "recoveries, stragglers, optional static heterogeneity) into "
+            "two identical runs -- FlexMoE with dynamic placement vs a "
+            "static baseline -- and report how each absorbs the events."
+        ),
+    )
+    p.add_argument("--layers", type=int, default=2, help="MoE layers (default 2)")
+    p.add_argument("--experts", type=int, default=16, help="experts per layer")
+    p.add_argument("--gpus", type=int, default=8, help="cluster size")
+    p.add_argument("--steps", type=int, default=50, help="trace length")
+    p.add_argument("--tokens-per-gpu", type=int, default=16_384)
+    p.add_argument("--warmup", type=int, default=5)
+    p.add_argument(
+        "--failures", type=int, default=1, help="devices that fail (default 1)"
+    )
+    p.add_argument(
+        "--fail-step", type=int, default=None,
+        help="step of the first failure (default: steps // 4)",
+    )
+    p.add_argument(
+        "--recover-after", type=int, default=None,
+        help="steps until a failed device rejoins (default: steps // 4; "
+        "0 = never)",
+    )
+    p.add_argument(
+        "--stragglers", type=int, default=1,
+        help="devices that slow down (default 1)",
+    )
+    p.add_argument(
+        "--straggler-factor", type=float, default=0.5,
+        help="straggler compute multiplier (default 0.5 = half speed)",
+    )
+    p.add_argument(
+        "--straggler-step", type=int, default=None,
+        help="step at which stragglers slow down (default: steps // 10)",
+    )
+    p.add_argument(
+        "--slow-gpus", type=int, default=0,
+        help="static heterogeneity: N permanently slow devices",
+    )
+    p.add_argument(
+        "--slow-factor", type=float, default=0.6,
+        help="compute multiplier of the --slow-gpus devices",
+    )
+    p.add_argument(
+        "--spike-period", type=int, default=None,
+        help="workload spikes: one expert surges every ~N steps",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixed scenario + recovery assertions (what CI runs)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -121,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(sub)
     _add_bench_parser(sub)
     _add_compare_parser(sub)
+    _add_faults_parser(sub)
     return parser
 
 
@@ -278,12 +346,95 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.smoke:
+        # Fixed small scenario CI asserts on: one failure that recovers,
+        # one persistent straggler.
+        args.layers, args.experts, args.gpus = 2, 16, 8
+        args.steps, args.tokens_per_gpu, args.warmup = 40, 16_384, 5
+        args.failures, args.fail_step, args.recover_after = 1, 10, 10
+        args.stragglers, args.straggler_factor, args.straggler_step = 1, 0.5, 4
+        args.slow_gpus, args.spike_period = 0, None
+
+    fail_step = args.fail_step if args.fail_step is not None else args.steps // 4
+    recover = (
+        args.recover_after if args.recover_after is not None else args.steps // 4
+    )
+    faults = FaultConfig(
+        num_failures=args.failures,
+        failure_step=fail_step,
+        recovery_steps=recover if recover > 0 else None,
+        num_stragglers=args.stragglers,
+        straggler_factor=args.straggler_factor,
+        straggler_step=(
+            args.straggler_step
+            if args.straggler_step is not None
+            else max(2, args.steps // 10)
+        ),
+        seed=args.seed,
+    )
+    result = faults_run(
+        num_moe_layers=args.layers,
+        num_gpus=args.gpus,
+        num_experts=args.experts,
+        num_steps=args.steps,
+        tokens_per_gpu=args.tokens_per_gpu,
+        warmup=args.warmup,
+        faults=faults,
+        slow_gpus=args.slow_gpus,
+        slow_factor=args.slow_factor,
+        spike_period=args.spike_period,
+        seed=args.seed,
+    )
+    summary = result.summary()
+    ok = bool(summary["ok"]) or not args.smoke
+    if args.json:
+        payload = dict(summary)
+        payload["events"] = [
+            {"step": ev.step, "kind": ev.kind, "gpu": ev.gpu, "factor": ev.factor}
+            for ev in result.schedule.events
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    print(
+        f"elastic scenario: {args.layers} MoE layers x {args.experts} experts "
+        f"on {args.gpus} GPUs, {args.steps} steps, seed {args.seed}"
+    )
+    print("  events:")
+    for ev in result.schedule.events:
+        extra = f" (x{ev.factor})" if ev.kind == "slowdown" else ""
+        print(f"    step {ev.step:>4}  {ev.kind:<9} gpu {ev.gpu}{extra}")
+    def _ms(value: float | None) -> str:
+        return f"{1e3 * value:>8.3f}ms" if value is not None else f"{'-':>10}"
+
+    print(f"  {'system':<10} {'pre-fail':>10} {'peak':>10} {'final':>10}  rehomed")
+    for name, phases in (
+        ("FlexMoE", summary["flexmoe"]),
+        ("Static", summary["baseline"]),
+    ):
+        print(
+            f"  {name:<10} {_ms(phases.get('pre_failure'))} "
+            f"{_ms(phases.get('disruption_peak'))} {_ms(phases['final'])}  "
+            f"{'yes' if phases['rehomed'] else 'NO'}"
+        )
+    print(
+        f"  FlexMoE placement actions committed: "
+        f"{int(summary['flexmoe_actions'])}"
+    )
+    print(f"  final speedup over Static: {summary['final_speedup']:.2f}x")
+    if args.smoke:
+        print("faults smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
         "bench": _cmd_bench,
         "compare": _cmd_compare,
+        "faults": _cmd_faults,
     }
     try:
         return handlers[args.command](args)

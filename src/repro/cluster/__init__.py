@@ -10,16 +10,26 @@ bandwidth ``Bw(g, g')`` and per-group AllReduce throughput ``BPS(G')``.
 
 from repro.cluster.collectives import CollectiveCostModel
 from repro.cluster.device import Device
+from repro.cluster.events import (
+    ClusterEvent,
+    ClusterState,
+    ElasticitySchedule,
+    redistribute_assignment,
+)
 from repro.cluster.groups import CommunicatorGroupCache, ordered_allreduce_schedule
 from repro.cluster.profiler import ClusterProfile, Profiler
 from repro.cluster.topology import ClusterTopology
 
 __all__ = [
+    "ClusterEvent",
     "ClusterProfile",
+    "ClusterState",
     "ClusterTopology",
     "CollectiveCostModel",
     "CommunicatorGroupCache",
     "Device",
+    "ElasticitySchedule",
     "Profiler",
     "ordered_allreduce_schedule",
+    "redistribute_assignment",
 ]

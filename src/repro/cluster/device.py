@@ -16,16 +16,23 @@ class Device:
         node: Index of the host node.
         local_rank: Rank within the host node.
         spec: Hardware capabilities.
+        compute_scale: Static per-device compute multiplier (mixed GPU
+            generations / persistent stragglers); 1.0 for a homogeneous
+            pool.
+        bandwidth_scale: Static per-device link multiplier; a link is
+            bottlenecked by its slower endpoint.
     """
 
     index: int
     node: int
     local_rank: int
     spec: DeviceSpec
+    compute_scale: float = 1.0
+    bandwidth_scale: float = 1.0
 
     def tokens_per_second(self, model: MoEModelConfig) -> float:
         """Ground-truth expert throughput of this device for ``model``."""
-        return self.spec.tokens_per_second(model)
+        return self.spec.tokens_per_second(model) * self.compute_scale
 
     def expert_memory_capacity(self, model: MoEModelConfig) -> int:
         """How many experts' model states fit in device memory.

@@ -39,6 +39,12 @@ class ClusterTopology:
                 node=node,
                 local_rank=local,
                 spec=config.device,
+                compute_scale=config.compute_scale_of(
+                    node * config.gpus_per_node + local
+                ),
+                bandwidth_scale=config.bandwidth_scale_of(
+                    node * config.gpus_per_node + local
+                ),
             )
             for node in range(config.num_nodes)
             for local in range(config.gpus_per_node)
@@ -55,8 +61,13 @@ class ClusterTopology:
         nodes = np.array([d.node for d in self._devices])
         same_node = nodes[:, None] == nodes[None, :]
         bw = np.where(same_node, cfg.intra_node_bandwidth, cfg.inter_node_bandwidth)
+        bw = bw.astype(float)
+        if cfg.bandwidth_scales is not None:
+            # A point-to-point transfer is bottlenecked by the slower NIC.
+            scales = np.array([d.bandwidth_scale for d in self._devices])
+            bw *= np.minimum(scales[:, None], scales[None, :])
         np.fill_diagonal(bw, self.LOCAL_COPY_BANDWIDTH)
-        return bw.astype(float).reshape(n, n)
+        return bw.reshape(n, n)
 
     def _build_latency_matrix(self) -> np.ndarray:
         cfg = self._config

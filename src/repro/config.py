@@ -189,6 +189,15 @@ class ClusterConfig:
     Defaults follow the paper's Azure setup: 8 A100s per node, NVLink 3.0
     intra-node (~300 GB/s per GPU) and 8x200 Gbps InfiniBand inter-node
     (~25 GB/s per GPU).
+
+    Attributes:
+        compute_scales: Optional per-GPU compute multipliers (length
+            ``num_gpus``) modelling mixed GPU generations or persistent
+            stragglers; ``None`` keeps the pool homogeneous. A scale of
+            0.5 means the device sustains half the spec's throughput.
+        bandwidth_scales: Optional per-GPU NIC/link multipliers (length
+            ``num_gpus``); a link is bottlenecked by its slower endpoint,
+            so ``Bw(g, g')`` is scaled by ``min(scale_g, scale_g')``.
     """
 
     num_nodes: int = 4
@@ -198,6 +207,8 @@ class ClusterConfig:
     inter_node_bandwidth: float = 25e9
     intra_node_latency: float = 3e-6
     inter_node_latency: float = 12e-6
+    compute_scales: tuple[float, ...] | None = None
+    bandwidth_scales: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         _require(self.num_nodes >= 1, "num_nodes must be >= 1")
@@ -206,10 +217,30 @@ class ClusterConfig:
         _require(self.inter_node_bandwidth > 0, "inter_node_bandwidth must be > 0")
         _require(self.intra_node_latency >= 0, "intra_node_latency must be >= 0")
         _require(self.inter_node_latency >= 0, "inter_node_latency must be >= 0")
+        for name in ("compute_scales", "bandwidth_scales"):
+            scales = getattr(self, name)
+            if scales is None:
+                continue
+            object.__setattr__(self, name, tuple(float(s) for s in scales))
+            scales = getattr(self, name)
+            _require(
+                len(scales) == self.num_gpus,
+                f"{name} must have one entry per GPU "
+                f"({self.num_gpus}), got {len(scales)}",
+            )
+            _require(all(s > 0 for s in scales), f"{name} entries must be > 0")
 
     @property
     def num_gpus(self) -> int:
         return self.num_nodes * self.gpus_per_node
+
+    def compute_scale_of(self, gpu: int) -> float:
+        """Static compute multiplier of ``gpu`` (1.0 when homogeneous)."""
+        return 1.0 if self.compute_scales is None else self.compute_scales[gpu]
+
+    def bandwidth_scale_of(self, gpu: int) -> float:
+        """Static link multiplier of ``gpu`` (1.0 when homogeneous)."""
+        return 1.0 if self.bandwidth_scales is None else self.bandwidth_scales[gpu]
 
     def replace(self, **changes: object) -> "ClusterConfig":
         return dataclasses.replace(self, **changes)
@@ -235,6 +266,14 @@ class WorkloadConfig:
             loss gradually evening out the routing (Figure 7a: "imbalanced
             workloads are getting better due to the punishment of balance
             loss"). ``None`` keeps the skew stationary.
+        spike_period: When set, a load spike hits a random expert on
+            average every this many steps: its logit jumps by
+            ``log(spike_magnitude)`` and then decays through the normal
+            mean reversion. Models sudden routing shifts (domain changes
+            mid-corpus) that stress the dynamic placement. ``None``
+            (default) disables spikes.
+        spike_magnitude: Multiplier applied to the spiked expert's
+            popularity at the moment of the spike.
         seed: RNG seed for reproducibility.
     """
 
@@ -244,6 +283,8 @@ class WorkloadConfig:
     drift: float = 0.05
     renewal_period: int = 500
     final_skew: float | None = None
+    spike_period: int | None = None
+    spike_magnitude: float = 4.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -254,8 +295,62 @@ class WorkloadConfig:
         _require(self.renewal_period >= 1, "renewal_period must be >= 1")
         if self.final_skew is not None:
             _require(self.final_skew >= 0, "final_skew must be >= 0")
+        if self.spike_period is not None:
+            _require(self.spike_period >= 1, "spike_period must be >= 1")
+        _require(self.spike_magnitude > 0, "spike_magnitude must be > 0")
 
     def replace(self, **changes: object) -> "WorkloadConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Failure/straggler injection knobs for the elastic cluster runtime.
+
+    An :class:`~repro.cluster.events.ElasticitySchedule` built from this
+    config picks *which* devices fail or straggle with the seeded RNG, so
+    a fixed seed yields a bit-identical event stream (see
+    ``docs/elasticity.md``).
+
+    Attributes:
+        num_failures: Devices that fail over the run (distinct GPUs).
+        failure_step: Step of the first failure.
+        failure_spacing: Steps between successive failures.
+        recovery_steps: Steps until a failed device rejoins (empty, to be
+            refilled by the runtime); ``None`` makes failures permanent.
+        num_stragglers: Devices that slow down (chosen among survivors
+            when possible).
+        straggler_factor: Compute multiplier applied to stragglers
+            (0.5 = half speed).
+        straggler_step: Step at which stragglers slow down.
+        straggler_duration: Steps until a straggler recovers full speed;
+            ``None`` makes the slowdown persistent.
+        seed: RNG seed selecting the affected devices.
+    """
+
+    num_failures: int = 1
+    failure_step: int = 10
+    failure_spacing: int = 10
+    recovery_steps: int | None = None
+    num_stragglers: int = 0
+    straggler_factor: float = 0.5
+    straggler_step: int = 5
+    straggler_duration: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.num_failures >= 0, "num_failures must be >= 0")
+        _require(self.failure_step >= 0, "failure_step must be >= 0")
+        _require(self.failure_spacing >= 1, "failure_spacing must be >= 1")
+        if self.recovery_steps is not None:
+            _require(self.recovery_steps >= 1, "recovery_steps must be >= 1")
+        _require(self.num_stragglers >= 0, "num_stragglers must be >= 0")
+        _require(self.straggler_factor > 0, "straggler_factor must be > 0")
+        _require(self.straggler_step >= 0, "straggler_step must be >= 0")
+        if self.straggler_duration is not None:
+            _require(self.straggler_duration >= 1, "straggler_duration must be >= 1")
+
+    def replace(self, **changes: object) -> "FaultConfig":
         return dataclasses.replace(self, **changes)
 
 
@@ -289,6 +384,16 @@ class SchedulerConfig:
         slots_per_gpu: Number of vExpert slots hosted by each GPU.
             ``None`` (default) auto-sizes to ``max(4, 2 * ceil(E / G))`` so
             every cluster keeps replication headroom.
+        speed_aware_balance: Weight the trigger metric's per-GPU loads by
+            the profiled (and elasticity-scaled) device speeds and ignore
+            failed devices, so heterogeneous or degraded pools trigger on
+            *time* imbalance rather than raw token counts. Off by default
+            to preserve the paper's homogeneous-cluster semantics.
+        min_replicas: Replication floor the Policy Maker must preserve
+            when shrinking. The paper's floor is 1 (every expert needs a
+            vExpert); elastic runs use 2 so a single device failure never
+            destroys an expert's only copy of its model states —
+            replication headroom doubles as fault tolerance.
     """
 
     balance_threshold: float = 1.15
@@ -300,6 +405,8 @@ class SchedulerConfig:
     migrate_period: int = 10
     best_effort: bool = True
     slots_per_gpu: int | None = None
+    speed_aware_balance: bool = False
+    min_replicas: int = 1
 
     def __post_init__(self) -> None:
         _require(self.balance_threshold >= 1.0, "balance_threshold must be >= 1")
@@ -316,6 +423,7 @@ class SchedulerConfig:
         _require(self.migrate_period >= 1, "migrate_period must be >= 1")
         if self.slots_per_gpu is not None:
             _require(self.slots_per_gpu >= 1, "slots_per_gpu must be >= 1")
+        _require(self.min_replicas >= 1, "min_replicas must be >= 1")
 
     def replace(self, **changes: object) -> "SchedulerConfig":
         return dataclasses.replace(self, **changes)

@@ -34,6 +34,7 @@ from repro.core.primitives import PlacementAction
 from repro.exceptions import ConfigurationError, RoutingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cluster.events import ClusterState
     from repro.core.router import FlexibleTokenRouter
 
 
@@ -79,14 +80,25 @@ class MoECostModel:
     Args:
         profile: Profiled environmental variables (TPS, Bw, BPS).
         model: Architecture whose expert/token sizes set the byte counts.
+        cluster_state: Optional live view of the device pool
+            (:class:`~repro.cluster.events.ClusterState`). When attached,
+            compute costs are priced against the *current* per-device
+            speeds (the runtime re-profiles on elasticity events) and
+            :meth:`live_mask` reflects failures.
     """
 
     #: All-to-All passes per training step (Eq. 8's factor).
     A2A_PASSES = 4
 
-    def __init__(self, profile: ClusterProfile, model: MoEModelConfig) -> None:
+    def __init__(
+        self,
+        profile: ClusterProfile,
+        model: MoEModelConfig,
+        cluster_state: "ClusterState | None" = None,
+    ) -> None:
         self._profile = profile
         self._model = model
+        self._cluster_state = cluster_state
 
     @property
     def model(self) -> MoEModelConfig:
@@ -96,6 +108,32 @@ class MoECostModel:
     def profile(self) -> ClusterProfile:
         return self._profile
 
+    @property
+    def cluster_state(self) -> "ClusterState | None":
+        return self._cluster_state
+
+    @property
+    def state_version(self) -> int:
+        """Version of the attached cluster state (0 when detached).
+
+        Memo caches include it in their keys so costs priced against an
+        older device pool are never replayed after an elasticity event.
+        """
+        return 0 if self._cluster_state is None else self._cluster_state.version
+
+    def effective_tps(self) -> np.ndarray:
+        """Per-GPU expert TPS under the current device pool."""
+        tps = self._profile.tps
+        if self._cluster_state is None:
+            return tps
+        return tps * self._cluster_state.speed_factors()
+
+    def live_mask(self) -> np.ndarray:
+        """Boolean liveness vector (all-true when no state is attached)."""
+        if self._cluster_state is None:
+            return np.ones(self._profile.tps.size, dtype=bool)
+        return self._cluster_state.live_mask()
+
     # ------------------------------------------------------------------
     # Individual terms
     # ------------------------------------------------------------------
@@ -103,13 +141,16 @@ class MoECostModel:
         """Eq. 7 for a single (expert, gpu) token count."""
         if tokens < 0:
             raise RoutingError("token count must be >= 0")
-        return tokens / self._profile.tokens_per_second(gpu)
+        tps = self._profile.tokens_per_second(gpu)
+        if self._cluster_state is not None:
+            tps *= self._cluster_state.speed_of(gpu)
+        return tokens / tps
 
     def compute_times(self, arrivals: np.ndarray) -> np.ndarray:
         """Per-GPU compute seconds from an arrivals matrix ``(experts, gpus)``."""
         arrivals = np.asarray(arrivals, dtype=float)
         per_gpu_tokens = arrivals.sum(axis=0)
-        return per_gpu_tokens / self._profile.tps
+        return per_gpu_tokens / self.effective_tps()
 
     def all_to_all_times(self, routes: np.ndarray) -> np.ndarray:
         """Per-GPU All-to-All seconds (Eq. 8) from a route tensor.
@@ -261,7 +302,14 @@ class MemoizedStepCost:
         cost model, but cached on the (placement, load-vector) pair.
         """
         loads = np.ascontiguousarray(assignment, dtype=np.float64)
-        key = (placement.signature(), loads.shape, loads.tobytes())
+        # The cluster-state version keys out costs priced against a device
+        # pool that an elasticity event has since changed.
+        key = (
+            self._cost_model.state_version,
+            placement.signature(),
+            loads.shape,
+            loads.tobytes(),
+        )
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)

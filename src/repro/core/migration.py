@@ -22,14 +22,17 @@ groups, and replicas residing on the most-loaded GPUs.
 
 from __future__ import annotations
 
+from typing import Mapping, Sequence
+
 import numpy as np
 
+from repro.cluster.profiler import ClusterProfile
 from repro.cluster.topology import ClusterTopology
 from repro.core.cost_model import MoECostModel
 from repro.core.placement import Placement
-from repro.core.primitives import Migrate, PlacementAction
+from repro.core.primitives import Expand, Migrate, PlacementAction, Shrink
 from repro.core.router import FlexibleTokenRouter
-from repro.exceptions import SchedulingError
+from repro.exceptions import ElasticityError, SchedulingError
 
 
 class MigrationPlanner:
@@ -42,6 +45,9 @@ class MigrationPlanner:
             background adjustment traffic per step.
         max_candidates: Number of (expert, source GPU) candidates examined
             per move, bounding the search cost.
+        min_replicas: Distinct-device floor every expert must keep after a
+            move (1 in the paper's setting; 2 in elastic runs so a single
+            device failure never orphans an expert).
     """
 
     def __init__(
@@ -50,15 +56,19 @@ class MigrationPlanner:
         topology: ClusterTopology,
         max_moves: int = 2,
         max_candidates: int = 6,
+        min_replicas: int = 1,
     ) -> None:
         if max_moves < 0:
             raise SchedulingError("max_moves must be >= 0")
         if max_candidates < 1:
             raise SchedulingError("max_candidates must be >= 1")
+        if min_replicas < 1:
+            raise SchedulingError("min_replicas must be >= 1")
         self._cost_model = cost_model
         self._topology = topology
         self._max_moves = max_moves
         self._max_candidates = max_candidates
+        self._min_replicas = min_replicas
         self._router = FlexibleTokenRouter()
 
     def total_sync_time(self, placement: Placement) -> float:
@@ -91,18 +101,40 @@ class MigrationPlanner:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _candidate_sources(
+    def _per_replica_loads(
         self, assignment: np.ndarray, placement: Placement
-    ) -> list[tuple[int, int]]:
-        """(expert, gpu) pairs worth trying to move, most promising first."""
-        candidates: list[tuple[float, int, int]] = []
+    ) -> np.ndarray:
+        """Per-vExpert token load of every expert."""
         expert_loads = assignment.sum(axis=1).astype(float)
         replicas = placement.replica_counts().astype(float)
-        per_replica = np.divide(
+        return np.divide(
             expert_loads, replicas, out=np.zeros_like(expert_loads),
             where=replicas > 0,
         )
+
+    def _weighted_gpu_loads(
+        self, per_replica: np.ndarray, placement: Placement
+    ) -> np.ndarray:
+        """Per-GPU loads, divided by dynamic device speed when elastic.
+
+        A straggler running at half speed takes twice the wall-clock per
+        token, so time-weighting surfaces it as the most loaded device
+        even when raw token counts are balanced.
+        """
         gpu_loads = placement.counts.T.astype(float) @ per_replica
+        state = self._cost_model.cluster_state
+        if state is not None:
+            gpu_loads = gpu_loads / state.speed_factors()
+        return gpu_loads
+
+    def _candidate_sources(
+        self,
+        per_replica: np.ndarray,
+        placement: Placement,
+        gpu_loads: np.ndarray,
+    ) -> list[tuple[int, int]]:
+        """(expert, gpu) pairs worth trying to move, most promising first."""
+        candidates: list[tuple[float, int, int]] = []
 
         # Source kind 1: replicas of sync-scattered experts.
         for expert, group in placement.replica_groups().items():
@@ -128,18 +160,10 @@ class MigrationPlanner:
                 unique.append(key)
         return unique[: self._max_candidates]
 
-    def _candidate_targets(
-        self, assignment: np.ndarray, placement: Placement
-    ) -> list[int]:
-        """GPUs worth moving a replica to: least loaded first."""
-        expert_loads = assignment.sum(axis=1).astype(float)
-        replicas = placement.replica_counts().astype(float)
-        per_replica = np.divide(
-            expert_loads, replicas, out=np.zeros_like(expert_loads),
-            where=replicas > 0,
-        )
-        gpu_loads = placement.counts.T.astype(float) @ per_replica
-        return [int(g) for g in np.argsort(gpu_loads)[:4]]
+    def _candidate_targets(self, gpu_loads: np.ndarray) -> list[int]:
+        """Live GPUs worth moving a replica to: least (time-)loaded first."""
+        live = self._cost_model.live_mask()
+        return [int(g) for g in np.argsort(gpu_loads) if live[g]][:4]
 
     def _best_move(
         self, assignment: np.ndarray, placement: Placement
@@ -147,8 +171,12 @@ class MigrationPlanner:
         baseline = self.step_time(assignment, placement)
         best_action: Migrate | None = None
         best_time = baseline
-        targets = self._candidate_targets(assignment, placement)
-        for expert, src in self._candidate_sources(assignment, placement):
+        per_replica = self._per_replica_loads(assignment, placement)
+        gpu_loads = self._weighted_gpu_loads(per_replica, placement)
+        targets = self._candidate_targets(gpu_loads)
+        for expert, src in self._candidate_sources(
+            per_replica, placement, gpu_loads
+        ):
             for dst in targets:
                 if dst == src:
                     continue
@@ -164,8 +192,152 @@ class MigrationPlanner:
                         action.apply(candidate)
                     except Exception:
                         continue
+                    if self._min_replicas > 1 and (
+                        len(candidate.gpus_of(expert)) < self._min_replicas
+                        or len(candidate.gpus_of(partner)) < self._min_replicas
+                    ):
+                        continue  # exchange would consolidate below the floor
                     time = self.step_time(assignment, candidate)
                     if time < best_time - 1e-12:
                         best_time = time
                         best_action = action
         return best_action
+
+
+# ----------------------------------------------------------------------
+# Elastic re-homing (device failure / recovery)
+# ----------------------------------------------------------------------
+def ensure_evictable(placement: Placement, dead: Sequence[int]) -> None:
+    """Raise unless every expert would survive evicting the ``dead`` GPUs.
+
+    An expert whose *every* replica lives on failed devices has lost its
+    model states and cannot be rebuilt; the check runs without mutating
+    ``placement`` so callers can validate several placements atomically
+    before evicting any of them.
+    """
+    dead = sorted(set(int(g) for g in dead))
+    counts = placement.counts
+    on_dead = counts[:, dead].sum(axis=1)
+    total = placement.replica_counts()
+    orphans = np.flatnonzero((on_dead > 0) & (on_dead == total))
+    if orphans.size:
+        expert = int(orphans[0])
+        raise ElasticityError(
+            f"expert {expert} lost all {int(total[expert])} of its replicas "
+            f"to failed gpu(s) {dead}: its model states are gone and cannot "
+            "be re-homed (replicate experts across more devices, or "
+            "checkpoint-restore outside this simulation)"
+        )
+
+
+def evict_failed_gpus(
+    placement: Placement, dead: Sequence[int]
+) -> dict[int, int]:
+    """Drop every vExpert hosted by the ``dead`` GPUs, in place.
+
+    Experts with surviving replicas simply lose the dead copies; an
+    orphaned expert raises a clear
+    :class:`~repro.exceptions.ElasticityError` (see
+    :func:`ensure_evictable`) before any mutation.
+
+    Returns:
+        Mapping ``expert -> replicas lost``, for the re-homing pass.
+    """
+    ensure_evictable(placement, dead)
+    dead = sorted(set(int(g) for g in dead))
+    lost: dict[int, int] = {}
+    for gpu in dead:
+        for expert in placement.experts_on(gpu):
+            n = placement.count(expert, gpu)
+            for _ in range(n):
+                placement.remove_vexpert(expert, gpu)
+            lost[expert] = lost.get(expert, 0) + n
+    return lost
+
+
+def _donor_slot(
+    work: Placement, live: Sequence[int], expert: int, min_replicas: int
+) -> tuple[int, int] | None:
+    """A (donor expert, live GPU) pair whose Shrink frees a slot for
+    ``expert`` on a device it does not yet occupy, without dropping the
+    donor below the replication floor itself. Prefers the most
+    replicated donor (ties to the lowest GPU index)."""
+    best: tuple[int, int] | None = None
+    best_key: tuple[int, int] | None = None
+    for gpu in live:
+        if work.count(expert, gpu) > 0:
+            continue  # the rescue replica must land on a fresh device
+        for donor in work.experts_on(gpu):
+            if donor == expert:
+                continue
+            if work.replicas(donor) - 1 < min_replicas:
+                continue
+            distinct = len(work.gpus_of(donor))
+            if work.count(donor, gpu) == 1:
+                distinct -= 1
+            if distinct < min_replicas:
+                continue
+            key = (work.replicas(donor), -gpu)
+            if best_key is None or key > best_key:
+                best_key, best = key, (donor, gpu)
+    return best
+
+
+def plan_replacements(
+    placement: Placement,
+    lost: Mapping[int, int],
+    live_gpus: Sequence[int],
+    profile: ClusterProfile | None = None,
+    min_replicas: int = 1,
+) -> list[PlacementAction]:
+    """Rebuild replicas lost to a failure on the surviving devices.
+
+    For every lost replica, an :class:`~repro.core.primitives.Expand`
+    copies the expert's states from a surviving holder to the live GPU
+    with the most free slots (ties to the lowest index), preferring
+    devices that do not already hold the expert (a packed copy dies with
+    its co-resident, so it restores capacity but not fault tolerance).
+
+    When the survivors are slot-full, replicas above the floor simply
+    stay lost -- the scheduler's normal Expand/Shrink loop re-optimizes
+    counts from there. But an expert left BELOW the ``min_replicas``
+    distinct-device floor gets a rescue: a Shrink of the most replicated
+    donor frees a slot on a fresh device first, so the next single
+    failure cannot orphan the expert.
+
+    The ``placement`` is not modified; callers apply the returned actions
+    through their adjustment pipeline.
+    """
+    if not lost:
+        return []
+    live = [int(g) for g in live_gpus]
+    if not live:
+        raise ElasticityError("cannot re-home experts: no live device")
+    work = placement.copy()
+    actions: list[PlacementAction] = []
+    for expert in sorted(lost):
+        for _ in range(lost[expert]):
+            holders = work.gpus_of(expert)
+            candidates = [g for g in live if work.free_slots(g) > 0]
+            fresh = [g for g in candidates if g not in holders]
+            if not fresh and len(holders) < min_replicas:
+                slot = _donor_slot(work, live, expert, min_replicas)
+                if slot is not None:
+                    donor, gpu = slot
+                    shrink = Shrink(expert=donor, gpu=gpu)
+                    shrink.apply(work)
+                    actions.append(shrink)
+                    fresh = [gpu]
+                    candidates.append(gpu)
+            pool = fresh or candidates
+            if not pool:
+                break
+            dst = max(pool, key=lambda g: (work.free_slots(g), -g))
+            if profile is not None:
+                src = max(holders, key=lambda h: profile.link_bandwidth(h, dst))
+            else:
+                src = holders[0]
+            action = Expand(expert=expert, gpu=dst, source_gpu=int(src))
+            action.apply(work)
+            actions.append(action)
+    return actions

@@ -55,6 +55,8 @@ class PolicyMaker:
             adjustment costs entirely (pure Algorithm 2); the paper notes
             adjustments run concurrently with training, so the default
             charges only a small amortized share.
+        min_replicas: Replication floor preserved by Shrink proposals
+            (see :attr:`repro.config.SchedulerConfig.min_replicas`).
     """
 
     def __init__(
@@ -64,17 +66,21 @@ class PolicyMaker:
         adjustment_horizon: int = 25,
         expand_candidates: int = 3,
         shrink_candidates: int = 2,
+        min_replicas: int = 1,
     ) -> None:
         if adjustment_horizon < 0:
             raise SchedulingError("adjustment_horizon must be >= 0")
         if expand_candidates < 1 or shrink_candidates < 1:
             raise SchedulingError("candidate counts must be >= 1")
+        if min_replicas < 1:
+            raise SchedulingError("min_replicas must be >= 1")
         self._cost_model = cost_model
         self._router = router or FlexibleTokenRouter()
         self._memo = MemoizedStepCost(cost_model, self._router)
         self._adjustment_horizon = adjustment_horizon
         self._expand_candidates = expand_candidates
         self._shrink_candidates = shrink_candidates
+        self._min_replicas = min_replicas
 
     @property
     def cost_model(self) -> MoECostModel:
@@ -132,9 +138,15 @@ class PolicyMaker:
     def _find_shrink_candidates(
         self, caps: np.ndarray, replicas: np.ndarray, exclude: int
     ) -> list[int]:
-        """Experts shrinkable (n_e > 1), sorted by ascending per-vExpert load."""
+        """Experts shrinkable above the replication floor, sorted by
+        ascending per-vExpert load (the floor is 1 in the paper's setting,
+        2 in elastic runs so failures never orphan an expert)."""
         order = np.argsort(caps, kind="stable")
-        return [int(e) for e in order if replicas[e] > 1 and int(e) != exclude]
+        return [
+            int(e)
+            for e in order
+            if replicas[e] > self._min_replicas and int(e) != exclude
+        ]
 
     def _best_pair(
         self,
@@ -152,6 +164,11 @@ class PolicyMaker:
             try:
                 shrink.apply(trial)
             except Exception:  # last replica elsewhere raced; skip
+                continue
+            if len(trial.gpus_of(e1)) < self._min_replicas:
+                # The floor is on distinct DEVICES: packed copies on one
+                # GPU share weights and die together, so they provide no
+                # fault tolerance.
                 continue
             source = self._expand_source(trial, e0, gpu)
             expand = Expand(expert=e0, gpu=gpu, source_gpu=source)

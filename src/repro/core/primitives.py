@@ -118,6 +118,21 @@ def apply_actions(placement: Placement, actions: list[PlacementAction]) -> None:
     placement.validate()
 
 
+def action_gpus(action: PlacementAction) -> tuple[int, ...]:
+    """Every GPU an action references (slot targets and transfer endpoints).
+
+    Used by the elastic runtime to discard queued adjustments whose
+    endpoints died with a failed device.
+    """
+    if isinstance(action, Expand):
+        return (action.gpu, action.source_gpu)
+    if isinstance(action, Shrink):
+        return (action.gpu,)
+    if isinstance(action, Migrate):
+        return (action.gpu_a, action.gpu_b)
+    raise PlacementError(f"unknown primitive {action!r}")
+
+
 def can_merge(a: PlacementAction, b: PlacementAction) -> bool:
     """Whether two queued transfers can be merged into one launch.
 

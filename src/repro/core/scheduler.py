@@ -77,7 +77,9 @@ class Scheduler:
         self._policy = policy
         self._config = config
         self._router = FlexibleTokenRouter()
-        self._migration = MigrationPlanner(policy.cost_model, topology)
+        self._migration = MigrationPlanner(
+            policy.cost_model, topology, min_replicas=config.min_replicas
+        )
         self._history: list[SchedulingOutcome] = []
 
     @property
@@ -101,6 +103,14 @@ class Scheduler:
     # ------------------------------------------------------------------
     def current_metric(self, assignment: np.ndarray) -> float:
         loads = gpu_loads_even_split(assignment, self._placement)
+        if self._config.speed_aware_balance:
+            # Heterogeneous / degraded pools: imbalance is about *time*,
+            # not token counts. Weight loads by per-device speed and drop
+            # failed devices (their load is zero by construction, but
+            # counting them would deflate the mean). Both metrics are
+            # scale-free, so the threshold keeps its meaning.
+            cost_model = self._policy.cost_model
+            loads = (loads / cost_model.effective_tps())[cost_model.live_mask()]
         return metric_value(self._config.metric, loads)
 
     def should_trigger(self, assignment: np.ndarray, step: int) -> bool:

@@ -42,3 +42,12 @@ class ModelError(ReproError):
 
 class ProfilingError(ReproError):
     """Profiling data was missing or inconsistent for a cost-model query."""
+
+
+class ElasticityError(ReproError):
+    """The elastic cluster runtime hit an unrecoverable condition.
+
+    Raised when an elasticity event cannot be absorbed: an expert loses
+    every replica to a device failure (its model states are gone), the
+    last live device fails, or an event stream is inconsistent.
+    """

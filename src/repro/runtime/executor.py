@@ -31,7 +31,7 @@ the step timeline and the overlap rules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from repro.cluster.topology import ClusterTopology
 from repro.config import MoEModelConfig
 from repro.core.placement import Placement
 from repro.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.events import ClusterState
 
 #: Fraction of expert FLOPs spent in the forward pass (backward ~= 2x).
 FORWARD_FRACTION = 1.0 / 3.0
@@ -103,6 +106,7 @@ class StepExecutor:
         jitter: float = 0.02,
         seed: int = 0,
         group_cache: CommunicatorGroupCache | None = None,
+        cluster_state: "ClusterState | None" = None,
     ) -> None:
         if jitter < 0:
             raise SimulationError("jitter must be >= 0")
@@ -112,6 +116,7 @@ class StepExecutor:
         self._jitter = jitter
         self._rng = np.random.default_rng(seed)
         self._group_cache = group_cache
+        self._cluster_state = cluster_state
         self._tps = np.array(
             [d.tokens_per_second(model) for d in topology.devices]
         )
@@ -128,6 +133,21 @@ class StepExecutor:
     def group_cache(self) -> CommunicatorGroupCache | None:
         return self._group_cache
 
+    @property
+    def cluster_state(self) -> "ClusterState | None":
+        """Live device-pool view degrading ground-truth compute (elastic)."""
+        return self._cluster_state
+
+    @cluster_state.setter
+    def cluster_state(self, state: "ClusterState | None") -> None:
+        self._cluster_state = state
+
+    def _effective_tps(self) -> np.ndarray:
+        """Ground-truth per-GPU TPS under the current dynamic speeds."""
+        if self._cluster_state is None:
+            return self._tps
+        return self._tps * self._cluster_state.speed_factors()
+
     def _jittered(self, value: float | np.ndarray) -> float | np.ndarray:
         if self._jitter == 0:
             return value
@@ -141,7 +161,7 @@ class StepExecutor:
         """Measured forward+backward compute seconds for ``tokens``."""
         if tokens < 0:
             raise SimulationError("tokens must be >= 0")
-        return float(self._jittered(tokens / self._tps[gpu]))
+        return float(self._jittered(tokens / self._effective_tps()[gpu]))
 
     def real_a2a_pass_time(self, routes: np.ndarray) -> float:
         """Measured seconds of ONE All-to-All pass for a route tensor."""
@@ -182,7 +202,9 @@ class StepExecutor:
 
         # --- Expert compute: forward barrier then backward barrier ------
         per_gpu_tokens = routes.sum(axis=(0, 1))
-        busy = np.asarray(self._jittered(per_gpu_tokens / self._tps), dtype=float)
+        busy = np.asarray(
+            self._jittered(per_gpu_tokens / self._effective_tps()), dtype=float
+        )
         forward = float((busy * FORWARD_FRACTION).max())
         backward = float((busy * (1 - FORWARD_FRACTION)).max())
         compute_time = forward + backward
@@ -392,7 +414,11 @@ class PipelinedStepExecutor:
         """
         if not self._model_dense:
             return 0.0
-        per_gpu = np.asarray(source_tokens, dtype=float) / self._dense_tps
+        dense_tps = self._dense_tps
+        state = self._executor.cluster_state
+        if state is not None:
+            dense_tps = dense_tps * state.speed_factors()
+        per_gpu = np.asarray(source_tokens, dtype=float) / dense_tps
         return float(per_gpu.max()) if per_gpu.size else 0.0
 
     def execute(

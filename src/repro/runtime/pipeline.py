@@ -28,6 +28,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.collectives import CollectiveCostModel
+from repro.cluster.events import (
+    ClusterEvent,
+    ClusterState,
+    ElasticitySchedule,
+    redistribute_assignment,
+)
 from repro.cluster.groups import CommunicatorGroupCache
 from repro.cluster.profiler import ClusterProfile
 from repro.cluster.topology import ClusterTopology
@@ -38,12 +44,24 @@ from repro.config import (
     auto_slots_per_gpu,
 )
 from repro.core.cost_model import MoECostModel
+from repro.core.migration import (
+    ensure_evictable,
+    evict_failed_gpus,
+    plan_replacements,
+)
 from repro.core.placement import Placement
 from repro.core.policy import PolicyMaker
-from repro.core.primitives import PlacementAction
+from repro.core.primitives import (
+    Expand,
+    Migrate,
+    PlacementAction,
+    Shrink,
+    action_gpus,
+    apply_actions,
+)
 from repro.core.router import FlexibleTokenRouter, RoutingPlan
 from repro.core.scheduler import Scheduler, SchedulingOutcome
-from repro.exceptions import SimulationError
+from repro.exceptions import PlacementError, SimulationError
 from repro.runtime.adjustment import AdjustmentQueue
 from repro.runtime.executor import (
     PipelinedStepExecutor,
@@ -65,6 +83,9 @@ class LayerPipeline:
         group_cache: Communicator cache charged for newly formed replica
             groups (``None`` makes group creation free).
         layer_index: Which MoE layer this pipeline manages (labelling).
+        cluster_state: Live device-pool view shared with the executor;
+            attaches to the layer's cost model so scheduling prices
+            against the current pool. ``None`` keeps the pool static.
     """
 
     def __init__(
@@ -76,6 +97,7 @@ class LayerPipeline:
         scheduler_config: SchedulerConfig | None = None,
         group_cache: CommunicatorGroupCache | None = None,
         layer_index: int = 0,
+        cluster_state: ClusterState | None = None,
     ) -> None:
         config = scheduler_config or SchedulerConfig()
         # Explicit slot counts are respected as configured.
@@ -90,8 +112,9 @@ class LayerPipeline:
         self._group_cache = group_cache
         self._config = config
         self._layer_index = layer_index
+        self._cluster_state = cluster_state
         self._router = FlexibleTokenRouter()
-        self._cost_model = MoECostModel(profile, model)
+        self._cost_model = MoECostModel(profile, model, cluster_state=cluster_state)
         # Target placement: what the scheduler plans toward. Active
         # placement: what routing/execution actually use; commits lag by
         # the best-effort stream's budget.
@@ -99,12 +122,14 @@ class LayerPipeline:
             model.num_experts, topology.num_gpus, config.slots_per_gpu
         )
         self._active = self._target.copy()
-        policy = PolicyMaker(self._cost_model)
+        policy = PolicyMaker(self._cost_model, min_replicas=config.min_replicas)
         self._scheduler = Scheduler(self._target, policy, config, topology)
         self._queue = AdjustmentQueue(model, collectives)
         # Each entry: [remaining_stream_seconds, actions_tuple]
         self._pending: deque[list] = deque()
         self._committed_actions = 0
+        self._dropped_actions = 0
+        self._last_assignment: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -148,6 +173,11 @@ class LayerPipeline:
     def committed_actions(self) -> int:
         return self._committed_actions
 
+    @property
+    def dropped_actions(self) -> int:
+        """Queued actions discarded because a device failure obsoleted them."""
+        return self._dropped_actions
+
     # ------------------------------------------------------------------
     # Best-effort pipeline
     # ------------------------------------------------------------------
@@ -173,6 +203,26 @@ class LayerPipeline:
                 cost = max(cost, self._group_cache.acquire(group))
         return cost
 
+    def _emit_actions(self, actions: tuple[PlacementAction, ...]) -> float:
+        """Push actions into the best-effort pipeline (already applied to
+        the TARGET placement by the caller).
+
+        Returns the blocking seconds charged to the step: zero under
+        best-effort (the stream pays for the work later), the full
+        transfer time otherwise (actions commit to the active placement
+        immediately).
+        """
+        if not actions:
+            return 0.0
+        work = self._stream_work_seconds(actions)
+        if self._config.best_effort:
+            self._pending.append([work, actions])
+            return 0.0
+        for action in actions:
+            action.apply(self._active)
+        self._committed_actions += len(actions)
+        return work
+
     def begin_step(
         self, assignment: np.ndarray, step_index: int
     ) -> tuple[float, SchedulingOutcome]:
@@ -183,18 +233,9 @@ class LayerPipeline:
         the seconds of blocking adjustment time plus the scheduling
         outcome.
         """
+        self._last_assignment = np.asarray(assignment)
         outcome = self._scheduler.on_step(assignment, step_index)
-        blocking = 0.0
-        if outcome.actions:
-            work = self._stream_work_seconds(outcome.actions)
-            if self._config.best_effort:
-                self._pending.append([work, outcome.actions])
-            else:
-                for action in outcome.actions:
-                    action.apply(self._active)
-                self._committed_actions += len(outcome.actions)
-                blocking = work
-        return blocking, outcome
+        return self._emit_actions(outcome.actions), outcome
 
     def route(self, assignment: np.ndarray) -> RoutingPlan:
         """Route ``assignment`` over the layer's ACTIVE placement."""
@@ -211,11 +252,191 @@ class LayerPipeline:
                 break
             budget -= entry[0]
             for action in entry[1]:
-                action.apply(self._active)
-            committed += len(entry[1])
+                if self._cluster_state is not None:
+                    # Elastic runs only: a commit obsoleted by an
+                    # elasticity event (e.g. its source replica died with
+                    # a device) is discarded — and undone on the target,
+                    # preserving ``target == active + pending``. Static
+                    # runs keep the loud failure — a bad commit there is
+                    # a scheduler bug.
+                    try:
+                        action.apply(self._active)
+                    except PlacementError:
+                        self._revert_on_target(action)
+                        self._dropped_actions += 1
+                        continue
+                else:
+                    action.apply(self._active)
+                committed += 1
             self._pending.popleft()
         self._committed_actions += committed
         return committed
+
+    # ------------------------------------------------------------------
+    # Elasticity
+    # ------------------------------------------------------------------
+    def _drop_pending_touching(self, gpus: frozenset[int]) -> int:
+        """Discard queued actions referencing any of ``gpus`` (they died).
+
+        Dropped actions were already applied to the TARGET placement when
+        they were emitted; since they will now never commit, their effect
+        on the target is undone too, restoring the invariant
+        ``target == active + pending``. (Without this, dropping one half
+        of a (Shrink, Expand) pair would leave the active placement
+        permanently diverged from what the scheduler reasons about.)
+        """
+        dropped: list[PlacementAction] = []
+        kept: deque[list] = deque()
+        for work, actions in self._pending:
+            remaining = tuple(
+                a for a in actions if not gpus.intersection(action_gpus(a))
+            )
+            dropped.extend(
+                a for a in actions if gpus.intersection(action_gpus(a))
+            )
+            if remaining:
+                # The dropped transfers no longer consume stream
+                # bandwidth; rescale the entry's remaining work so the
+                # survivors are not delayed paying for them.
+                work = work * len(remaining) / len(actions)
+                kept.append([work, remaining])
+        self._pending = kept
+        for action in reversed(dropped):
+            self._revert_on_target(action)
+        self._dropped_actions += len(dropped)
+        return len(dropped)
+
+    def _cancel_orphaning_shrinks(self, dead: frozenset[int]) -> None:
+        """Cancel pending Shrinks that the failure turned into death traps.
+
+        A queued Shrink of an expert's only live-device replica was a
+        sound plan when emitted, but once the expert's other copies die
+        with their devices, committing it would discard the last copy of
+        the model states. Such Shrinks are removed from the stream and
+        undone on the target, making the shrunk replica the expert's
+        lifeline.
+        """
+        while True:
+            counts = self._target.counts
+            live_cols = [
+                g for g in range(self._target.num_gpus) if g not in dead
+            ]
+            at_risk = set(np.flatnonzero(counts[:, live_cols].sum(axis=1) == 0))
+            if not at_risk:
+                return
+            cancelled = False
+            for entry in self._pending:
+                for action in entry[1]:
+                    if not (
+                        isinstance(action, Shrink)
+                        and action.expert in at_risk
+                        and action.gpu not in dead
+                    ):
+                        continue
+                    try:
+                        self._target.add_vexpert(action.expert, action.gpu)
+                    except PlacementError:
+                        continue  # slot since reused; try another shrink
+                    entry[1] = tuple(a for a in entry[1] if a is not action)
+                    self._dropped_actions += 1
+                    cancelled = True
+                    break
+                if cancelled:
+                    break
+            if not cancelled:
+                return  # remaining at-risk experts orphan; eviction raises
+
+    def _revert_on_target(self, action: PlacementAction) -> None:
+        """Best-effort inverse of ``action`` on the target placement.
+
+        Reverts that have become impossible (later interleaved actions or
+        the imminent eviction already account for the state) are skipped.
+        """
+        try:
+            if isinstance(action, Expand):
+                self._target.remove_vexpert(action.expert, action.gpu)
+            elif isinstance(action, Shrink):
+                self._target.add_vexpert(action.expert, action.gpu)
+            elif isinstance(action, Migrate):
+                self._target.swap_vexperts(
+                    action.expert_a, action.gpu_b, action.expert_b, action.gpu_a
+                )
+        except PlacementError:
+            pass
+
+    def handle_failure(
+        self, dead: tuple[int, ...], live: tuple[int, ...]
+    ) -> float:
+        """Evict this layer's experts off failed devices and re-home them.
+
+        Eviction is immediate on BOTH placements -- routing to a dead
+        device is never valid, so this is the one adjustment that cannot
+        be best-effort. Replacement Expands rebuilding the lost replicas
+        from surviving copies then ride the normal best-effort stream.
+
+        Returns the blocking seconds charged to the step (non-zero only
+        with ``best_effort=False``).
+
+        Raises:
+            ElasticityError: If an expert lost every replica (its model
+                states are gone).
+        """
+        dead_set = frozenset(dead)
+        self._drop_pending_touching(dead_set)
+        self._cancel_orphaning_shrinks(dead_set)
+        # Validate BOTH placements before mutating either, so an orphan
+        # aborts the step without leaving the layer half-evicted.
+        ensure_evictable(self._active, dead)
+        ensure_evictable(self._target, dead)
+        evict_failed_gpus(self._active, dead)
+        lost = evict_failed_gpus(self._target, dead)
+        rehome = plan_replacements(
+            self._target,
+            lost,
+            live,
+            profile=self._cost_model.profile,
+            min_replicas=self._config.min_replicas,
+        )
+        if not rehome:
+            return 0.0
+        apply_actions(self._target, list(rehome))
+        return self._emit_actions(tuple(rehome))
+
+    def handle_recovery(self, gpu: int) -> float:
+        """Refill a recovered (empty) device with the hottest experts.
+
+        The scheduler's Expand/Shrink pairs are slot-neutral per GPU and
+        Migrate needs an exchange partner, so neither can populate an
+        empty device on its own; the runtime seeds it with one replica of
+        each highest per-replica-load expert (falling back to the least
+        replicated experts before any assignment has been observed) and
+        lets the normal scheduling loop refine from there. Transfers ride
+        the best-effort stream.
+        """
+        free = self._target.free_slots(gpu)
+        if free == 0:
+            return 0.0
+        replicas = self._target.replica_counts().astype(float)
+        if self._last_assignment is not None:
+            loads = self._last_assignment.sum(axis=1) / replicas
+            order = np.argsort(-loads, kind="stable")
+        else:
+            order = np.argsort(replicas, kind="stable")
+        profile = self._cost_model.profile
+        actions: list[Expand] = []
+        for expert in order:
+            if len(actions) >= free:
+                break
+            expert = int(expert)
+            if self._target.count(expert, gpu) > 0:
+                continue
+            holders = self._target.gpus_of(expert)
+            source = max(holders, key=lambda h: profile.link_bandwidth(h, gpu))
+            actions.append(Expand(expert=expert, gpu=gpu, source_gpu=int(source)))
+        if not actions:
+            return 0.0
+        apply_actions(self._target, list(actions))
+        return self._emit_actions(tuple(actions))
 
 
 @dataclass(frozen=True)
@@ -230,6 +451,8 @@ class PipelineStepResult:
         layer_gpu_loads: Tokens computed per GPU per layer ``(layers, gpus)``.
         layer_locality: Per-layer fraction of tokens that stayed local.
         layer_actions: Placement actions committed per layer this step.
+        live_gpus: Devices alive during this step (equals the cluster
+            size when no elasticity is configured).
     """
 
     timing: PipelineStepTiming
@@ -238,6 +461,7 @@ class PipelineStepResult:
     layer_gpu_loads: np.ndarray
     layer_locality: np.ndarray
     layer_actions: tuple[int, ...]
+    live_gpus: int = -1
 
     @property
     def step_time(self) -> float:
@@ -284,6 +508,12 @@ class MultiLayerFlexMoEEngine:
         model_dense_compute: Model the dense transformer blocks; ``False``
             reduces the engine to stacked bare MoE layers (the seed
             engine's semantics).
+        elasticity: Optional elasticity event stream. When given, the
+            engine owns a shared :class:`ClusterState` (attached to the
+            executor and every layer's cost model), applies due events at
+            the start of each step, evicts/re-homes experts off failed
+            devices, refills recovered ones, and re-shards dead devices'
+            token batches over the survivors.
     """
 
     name = "FlexMoE-pipelined"
@@ -297,11 +527,20 @@ class MultiLayerFlexMoEEngine:
         scheduler_config: SchedulerConfig | None = None,
         overlap_efficiency: float = 1.0,
         model_dense_compute: bool = True,
+        elasticity: ElasticitySchedule | None = None,
     ) -> None:
         self._executor = executor
         self._profile = profile
         self._collectives = collectives
         self._scheduler_config = scheduler_config
+        self._elasticity = elasticity
+        state = executor.cluster_state
+        if state is None and elasticity is not None:
+            state = ClusterState(executor.topology.num_gpus)
+            executor.cluster_state = state
+        self._cluster_state = state
+        self._event_log: list[tuple[int, ClusterEvent]] = []
+        self._pending_event_blocking = 0.0
         self._pipe = PipelinedStepExecutor(
             executor,
             num_moe_layers=num_moe_layers,
@@ -317,6 +556,7 @@ class MultiLayerFlexMoEEngine:
                 scheduler_config=scheduler_config,
                 group_cache=executor.group_cache,
                 layer_index=index,
+                cluster_state=state,
             )
             for index in range(self._pipe.num_moe_layers)
         ]
@@ -352,6 +592,54 @@ class MultiLayerFlexMoEEngine:
         """Number of distinct active placements across layers."""
         return len(set(self.placement_signatures()))
 
+    @property
+    def cluster_state(self) -> ClusterState | None:
+        """Shared live view of the device pool (``None`` when static)."""
+        return self._cluster_state
+
+    @property
+    def elasticity(self) -> ElasticitySchedule | None:
+        return self._elasticity
+
+    @property
+    def event_log(self) -> tuple[tuple[int, ClusterEvent], ...]:
+        """Elasticity events applied so far, as ``(step, event)`` pairs."""
+        return tuple(self._event_log)
+
+    # ------------------------------------------------------------------
+    # Elasticity
+    # ------------------------------------------------------------------
+    def _apply_elasticity(self, step_index: int) -> None:
+        """Apply due events: update the pool, evict/re-home, refill."""
+        state = self._cluster_state
+        failed: list[int] = []
+        recovered: list[int] = []
+        for event in self._elasticity.events_at(step_index):
+            if event.kind == "fail":
+                if not state.is_alive(event.gpu):
+                    continue  # redundant event; the device is already gone
+                state.fail(event.gpu)
+                failed.append(event.gpu)
+            elif event.kind == "recover":
+                if state.is_alive(event.gpu):
+                    continue
+                state.recover(event.gpu)
+                recovered.append(event.gpu)
+            elif event.kind == "slowdown":
+                state.set_speed(event.gpu, event.factor)
+            else:  # "restore"
+                state.set_speed(event.gpu, 1.0)
+            self._event_log.append((step_index, event))
+        blocking = 0.0
+        if failed:
+            live = state.live_gpus()
+            for layer in self._layers:
+                blocking += layer.handle_failure(tuple(failed), live)
+        for gpu in recovered:
+            for layer in self._layers:
+                blocking += layer.handle_recovery(gpu)
+        self._pending_event_blocking += blocking
+
     # ------------------------------------------------------------------
     # Step
     # ------------------------------------------------------------------
@@ -370,9 +658,22 @@ class MultiLayerFlexMoEEngine:
                 f"got {assignments.shape}"
             )
 
+        # Phase 0 — elasticity: apply due events and re-shard the batches
+        # of dead devices over the survivors.
+        if self._elasticity is not None:
+            self._apply_elasticity(step_index)
+        state = self._cluster_state
+        if state is not None:
+            live = state.live_mask()
+            if not live.all():
+                assignments = np.stack(
+                    [redistribute_assignment(a, live) for a in assignments]
+                )
+
         # Phase 1 — every layer's scheduler observes its own assignment
         # and emits actions into its best-effort stream.
-        blocking = 0.0
+        blocking = self._pending_event_blocking
+        self._pending_event_blocking = 0.0
         outcomes = []
         for layer, assignment in zip(self._layers, assignments):
             layer_blocking, outcome = layer.begin_step(assignment, step_index)
@@ -412,6 +713,10 @@ class MultiLayerFlexMoEEngine:
                 [plan.locality_fraction for plan in plans]
             ),
             layer_actions=committed,
+            live_gpus=(
+                state.num_live if state is not None
+                else self._executor.topology.num_gpus
+            ),
         )
 
 
@@ -425,18 +730,36 @@ def build_engine(
     seed: int = 0,
     profile_noise: float = 0.02,
     jitter: float = 0.02,
+    elasticity: ElasticitySchedule | None = None,
 ) -> MultiLayerFlexMoEEngine:
     """Construct a multi-layer engine with a fresh simulated substrate.
 
     Delegates to :func:`repro.baselines.base.build_context`, so the same
     seeds produce exactly the same profiled figures and jitter stream as
-    the single-layer systems.
+    the single-layer systems. When ``elasticity`` is given (or the
+    cluster is statically heterogeneous) and no scheduler config is
+    supplied, the default config enables the speed-aware balance trigger
+    so scheduling reacts to *time* imbalance on the degraded pool.
     """
     from repro.baselines.base import build_context
 
     context = build_context(
-        cluster, model, seed=seed, profile_noise=profile_noise, jitter=jitter
+        cluster,
+        model,
+        seed=seed,
+        profile_noise=profile_noise,
+        jitter=jitter,
+        cluster_state=(
+            ClusterState(cluster.num_gpus) if elasticity is not None else None
+        ),
     )
+    if scheduler_config is None and (
+        elasticity is not None or cluster.compute_scales is not None
+    ):
+        scheduler_config = SchedulerConfig(
+            speed_aware_balance=True,
+            min_replicas=2 if elasticity is not None else 1,
+        )
     return MultiLayerFlexMoEEngine(
         executor=context.executor,
         profile=context.profile,
@@ -445,4 +768,5 @@ def build_engine(
         scheduler_config=scheduler_config,
         overlap_efficiency=overlap_efficiency,
         model_dense_compute=model_dense_compute,
+        elasticity=elasticity,
     )

@@ -146,16 +146,26 @@ class PipelineRunResult:
     Unlike :class:`TrainingRunResult`, step times here already cover the
     WHOLE transformer step (all MoE layers plus the dense blocks), so no
     ``moe_layers`` rescaling applies.
+
+    Attributes:
+        event_log: Elasticity events the engine applied during the run,
+            as ``(step, event)`` pairs (empty for static clusters).
     """
 
     engine: str
     results: tuple[PipelineStepResult, ...]
     num_moe_layers: int
     final_placement_signatures: tuple[bytes, ...] = ()
+    event_log: tuple = ()
 
     @property
     def step_times(self) -> np.ndarray:
         return np.array([r.step_time for r in self.results])
+
+    @property
+    def live_gpus_per_step(self) -> np.ndarray:
+        """Devices alive at each aggregated step (elastic runs)."""
+        return np.array([r.live_gpus for r in self.results])
 
     @property
     def mean_step_time(self) -> float:
@@ -210,6 +220,7 @@ def simulate_pipeline(
         results=tuple(results[warmup:]),
         num_moe_layers=engine.num_moe_layers,
         final_placement_signatures=engine.placement_signatures(),
+        event_log=getattr(engine, "event_log", ()),
     )
 
 

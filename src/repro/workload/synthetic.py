@@ -169,8 +169,25 @@ class DriftingRoutingGenerator:
         target_factor = cfg.final_skew / cfg.skew
         return 1.0 + (target_factor - 1.0) * progress
 
+    def _maybe_spike(self) -> None:
+        """Occasionally hit one expert with a sudden popularity spike.
+
+        The spiked expert's logit jumps by ``log(spike_magnitude)`` — an
+        instantaneous ``spike_magnitude``-fold popularity boost — and then
+        decays back through the OU mean reversion over ~``1/THETA`` steps.
+        Models abrupt routing shifts (domain changes mid-corpus) that the
+        smooth drift alone never produces; disabled by default.
+        """
+        cfg = self._config
+        if cfg.spike_period is None:
+            return
+        if self._rng.random() < 1.0 / cfg.spike_period:
+            expert = int(self._rng.integers(self._num_experts))
+            self._logits[expert] += np.log(cfg.spike_magnitude)
+
     def _advance_logits(self) -> None:
         self._maybe_renew_target()
+        self._maybe_spike()
         noise = self._rng.normal(0.0, 1.0, self._num_experts)
         target = self._anneal_factor() * self._target_logits
         self._logits += (

@@ -1,4 +1,4 @@
-"""CLI smoke tests: python -m repro run|bench|compare."""
+"""CLI smoke tests: python -m repro run|bench|compare|faults."""
 
 import json
 
@@ -68,3 +68,43 @@ def test_compare_json(capsys):
 def test_compare_unknown_model_errors(capsys):
     assert main(["compare", "--model", "no-such-model"]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+FAULTS_ARGS = [
+    "faults",
+    "--layers", "1",
+    "--experts", "8",
+    "--gpus", "4",
+    "--steps", "16",
+    "--tokens-per-gpu", "4096",
+    "--fail-step", "4",
+    "--recover-after", "5",
+    "--stragglers", "1",
+    "--straggler-step", "2",
+]
+
+
+def test_faults_human_readable(capsys):
+    assert main(FAULTS_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "events:" in out
+    assert "fail" in out and "recover" in out and "slowdown" in out
+    assert "FlexMoE" in out and "Static" in out
+
+
+def test_faults_json(capsys):
+    assert main(FAULTS_ARGS + ["--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["flexmoe"]["final"] > 0
+    assert payload["baseline"]["final"] > 0
+    assert payload["flexmoe"]["rehomed"] == 1.0
+    assert {e["kind"] for e in payload["events"]} == {
+        "fail", "recover", "slowdown"
+    }
+
+
+def test_faults_smoke_passes(capsys):
+    assert main(["faults", "--smoke", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["first_failure_step"] == 10

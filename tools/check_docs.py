@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Docs checks: encoding conventions + README quickstart drift.
+"""Docs checks: encoding conventions + README quickstart + module drift.
 
-Two guarantees, both enforced in CI (see CONTRIBUTING.md):
+Three guarantees, all enforced in CI (see CONTRIBUTING.md):
 
 1. User-facing docs (README.md, CONTRIBUTING.md, docs/*.md) are valid
    UTF-8 and free of mojibake-prone characters: smart quotes, curly
@@ -11,6 +11,11 @@ Two guarantees, both enforced in CI (see CONTRIBUTING.md):
 2. The README quickstart snippet (fenced python blocks between the
    ``<!-- quickstart:begin -->`` / ``<!-- quickstart:end -->`` markers)
    actually runs against the current API.
+3. docs/architecture.md and the package tree stay in sync: every
+   ``repro.*`` module the doc references must exist under ``src/repro/``,
+   and every top-level module/subpackage of ``src/repro/`` must be
+   mentioned in the doc (so new subsystems cannot land undocumented and
+   deleted ones cannot haunt the docs).
 
 Exit status 0 on success, 1 with a report on any failure.
 """
@@ -87,17 +92,70 @@ def check_quickstart(readme: Path) -> list[str]:
     return []
 
 
+#: Dotted module references in docs; lowercase segments only, so class
+#: and function names (``repro.baselines.FlexMoESystem``) naturally
+#: terminate the match at their containing module.
+MODULE_REF_RE = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+")
+
+
+def _module_exists(parts: list[str]) -> bool:
+    """Whether ``repro.<parts>`` resolves to a package, module, or a
+    lowercase attribute of one (e.g. ``repro.bench.harness.faults_run``)."""
+    path = REPO / "src" / "repro"
+    for part in parts:
+        package = path / part
+        if (package / "__init__.py").exists():
+            path = package
+            continue
+        # A module file ends the walk; deeper parts are attributes.
+        return (path / f"{part}.py").exists()
+    return True
+
+
+def check_module_sync(arch: Path) -> list[str]:
+    """Two-way sync between docs/architecture.md and src/repro/."""
+    if not arch.exists():
+        return [f"{arch.name}: missing (expected at docs/architecture.md)"]
+    text = arch.read_text(encoding="utf-8")
+    problems = []
+    for ref in sorted(set(MODULE_REF_RE.findall(text))):
+        if not _module_exists(ref.split(".")[1:]):
+            problems.append(
+                f"{arch.name}: references {ref}, which does not exist "
+                "under src/repro/"
+            )
+    src = REPO / "src" / "repro"
+    for child in sorted(src.iterdir()):
+        if child.name.startswith("_"):
+            continue  # __init__, __main__, __pycache__
+        if child.is_dir() and not (child / "__init__.py").exists():
+            continue
+        if not child.is_dir() and child.suffix != ".py":
+            continue
+        name = child.name if child.is_dir() else child.stem
+        if f"repro.{name}" not in text:
+            problems.append(
+                f"{arch.name}: top-level module src/repro/{child.name} is "
+                f"not documented (mention repro.{name})"
+            )
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in doc_paths():
         problems.extend(check_encoding(path))
     problems.extend(check_quickstart(REPO / "README.md"))
+    problems.extend(check_module_sync(REPO / "docs" / "architecture.md"))
     if problems:
         print("docs check FAILED:")
         for problem in problems:
             print(f"  {problem}")
         return 1
-    print(f"docs check OK ({len(doc_paths())} files, quickstart ran)")
+    print(
+        f"docs check OK ({len(doc_paths())} files, quickstart ran, "
+        "module map in sync)"
+    )
     return 0
 
 
