@@ -5,8 +5,9 @@ Model Training via Dynamic Device Placement* (Nie et al., SIGMOD 2023) as a
 self-contained Python system:
 
 * :mod:`repro.core` — the paper's contribution: the vExpert abstraction,
-  Expand/Shrink/Migrate primitives, cost models, flexible token routing,
-  Policy Maker and Scheduler;
+  Expand/Shrink/Migrate primitives, cost models with incremental
+  delta-cost what-if evaluation (``docs/performance.md``), flexible token
+  routing, Policy Maker and Scheduler;
 * :mod:`repro.cluster` — a simulated multi-GPU cluster substrate (devices,
   topology, collectives, profiler, communicator groups);
 * :mod:`repro.workload` — routing traces with calibrated skew/drift and
@@ -42,7 +43,7 @@ see ``docs/elasticity.md``)::
     result = faults_simulation(num_gpus=8, num_experts=16, num_steps=40)
     print(result.summary())
 
-Or from the command line: ``python -m repro run|bench|compare|faults``.
+Or from the command line: ``python -m repro run|bench|compare|faults|perf``.
 """
 
 from repro.config import (

@@ -2,7 +2,9 @@
 
 Every benchmark under ``benchmarks/`` maps to one table or figure of the
 evaluation section; :mod:`repro.bench.harness` holds the shared experiment
-drivers and :mod:`repro.bench.reporting` renders paper-style rows/series.
+drivers, :mod:`repro.bench.reporting` renders paper-style rows/series and
+:mod:`repro.bench.perf` measures the scheduling hot path (``python -m
+repro perf``, ``BENCH_step_overhead.json``).
 """
 
 from repro.bench.harness import (
@@ -11,13 +13,25 @@ from repro.bench.harness import (
     quick_comparison,
     scalability_sweep,
 )
+from repro.bench.perf import (
+    faults_overhead_benchmark,
+    perf_suite,
+    pipeline_overhead_benchmark,
+    planner_benchmark,
+    write_report,
+)
 from repro.bench.reporting import format_series, format_table
 
 __all__ = [
     "ExperimentScale",
+    "faults_overhead_benchmark",
     "figure5_comparison",
     "format_series",
     "format_table",
+    "perf_suite",
+    "pipeline_overhead_benchmark",
+    "planner_benchmark",
     "quick_comparison",
     "scalability_sweep",
+    "write_report",
 ]

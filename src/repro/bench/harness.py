@@ -240,6 +240,7 @@ def pipeline_run(
     seed: int = 0,
     overlap_efficiency: float = 1.0,
     model_dense_compute: bool = True,
+    scheduler_config: SchedulerConfig | None = None,
 ) -> PipelineRunResult:
     """Run the multi-layer pipelined engine on a synthetic workload."""
     from repro.runtime.pipeline import build_engine
@@ -257,6 +258,7 @@ def pipeline_run(
         num_moe_layers=num_moe_layers,
         overlap_efficiency=overlap_efficiency,
         model_dense_compute=model_dense_compute,
+        scheduler_config=scheduler_config,
         seed=seed,
     )
     trace = make_multilayer_trace(
@@ -289,6 +291,9 @@ class FaultsRunResult:
             devices, capped by the pool size) -- i.e. the failures'
             replica losses were genuinely rebuilt on the survivors.
         baseline_rehomed: Same for the static baseline.
+        delta_fallbacks: Delta-evaluator fallbacks to full recomputation
+            across both engines (0 on the reference path or when the
+            delta hot path never went stale; the perf gate requires 0).
     """
 
     flexmoe: PipelineRunResult
@@ -298,6 +303,7 @@ class FaultsRunResult:
     warmup: int
     flexmoe_rehomed: bool
     baseline_rehomed: bool
+    delta_fallbacks: int = 0
 
     def _phases(self, times: np.ndarray) -> dict[str, float]:
         """Pre-failure / disruption / final step-time aggregates."""
@@ -386,13 +392,16 @@ def faults_run(
     slow_factor: float = 0.6,
     spike_period: int | None = None,
     seed: int = 0,
+    delta_evaluation: bool = True,
 ) -> FaultsRunResult:
     """Run one seeded failure/straggler scenario: FlexMoE vs Static.
 
     Both engines consume the identical elasticity schedule, trace and
     (seed-matched) substrate; they differ only in whether the dynamic
     placement machinery is allowed to react. Deterministic under a fixed
-    seed.
+    seed. ``delta_evaluation=False`` switches the schedulers to the
+    full-recompute reference evaluator (the perf harness measures the
+    delta path against it).
     """
     from repro.runtime.pipeline import build_engine
 
@@ -434,7 +443,8 @@ def faults_run(
     flexmoe = build_engine(
         cluster, model, num_moe_layers=num_moe_layers,
         scheduler_config=SchedulerConfig(
-            speed_aware_balance=True, min_replicas=2, slots_per_gpu=slots
+            speed_aware_balance=True, min_replicas=2, slots_per_gpu=slots,
+            delta_evaluation=delta_evaluation,
         ),
         elasticity=schedule, seed=seed,
     )
@@ -445,6 +455,7 @@ def faults_run(
         scheduler_config=SchedulerConfig(
             balance_threshold=1e9, migrate=False,
             min_replicas=2, slots_per_gpu=slots,
+            delta_evaluation=delta_evaluation,
         ),
         elasticity=schedule, seed=seed,
     )
@@ -462,6 +473,7 @@ def faults_run(
         warmup=min(warmup, num_steps - 1),
         flexmoe_rehomed=_placements_rehomed(flexmoe, min_replicas=2),
         baseline_rehomed=_placements_rehomed(static, min_replicas=2),
+        delta_fallbacks=flexmoe.delta_fallbacks() + static.delta_fallbacks(),
     )
 
 

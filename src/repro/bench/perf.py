@@ -1,0 +1,327 @@
+"""Scheduling-overhead perf harness: ``python -m repro perf``.
+
+FlexMoE's viability rests on the Policy Maker being cheap enough to run
+online; this module measures exactly that and records the repo's perf
+trajectory in a machine-readable report (``BENCH_step_overhead.json``).
+Three benchmark families:
+
+* :func:`planner_benchmark` — planner rounds/second of the delta-cost
+  search (:class:`~repro.core.delta.DeltaStepCost`) against the retained
+  full-recompute reference evaluator, on one drifting single-layer
+  scenario.  Both searches run the Policy Maker *and* the Migrate planner
+  and must produce identical action sequences — a mismatch marks the run
+  failed.
+* :func:`pipeline_overhead_benchmark` — end-to-end simulated steps/second
+  of the multi-layer pipelined engine with delta evaluation on vs off
+  (identical seeds, identical simulated results required).
+* :func:`faults_overhead_benchmark` — the same toggle on the elastic
+  failure/straggler scenario (FlexMoE vs Static under a seeded event
+  schedule).
+
+:func:`perf_suite` composes them; its ``ok`` verdict requires every delta
+evaluator to report **zero fallbacks** to full recomputation and every
+decision/simulation equivalence to hold.  CI runs ``python -m repro perf
+--smoke`` and fails on a false verdict, so the delta hot path cannot
+silently regress into the slow path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import cluster_for, faults_run
+from repro.cluster.profiler import Profiler
+from repro.cluster.topology import ClusterTopology
+from repro.config import (
+    MoEModelConfig,
+    SchedulerConfig,
+    WorkloadConfig,
+    auto_slots_per_gpu,
+)
+from repro.core.cost_model import MoECostModel
+from repro.core.migration import MigrationPlanner
+from repro.core.placement import Placement
+from repro.core.policy import PolicyMaker
+from repro.workload.synthetic import (
+    DriftingRoutingGenerator,
+    make_multilayer_trace,
+)
+
+#: Default report location (repo root when run from a checkout).
+REPORT_FILENAME = "BENCH_step_overhead.json"
+
+
+def _planner_pass(
+    cost_model: MoECostModel,
+    topology: ClusterTopology,
+    trace,
+    slots: int,
+    use_delta: bool,
+) -> tuple[float, list, PolicyMaker, MigrationPlanner]:
+    """One full planner replay: make_plan + Migrate pass every step.
+
+    Returns (seconds, decision log, policy, migration planner).  Decisions
+    are applied so the placement evolves exactly as a live scheduler's
+    would; with matching decision logs the delta and reference passes do
+    identical scheduling work.
+    """
+    num_experts = cost_model.model.num_experts
+    policy = PolicyMaker(cost_model, use_delta=use_delta)
+    migration = MigrationPlanner(cost_model, topology, use_delta=use_delta)
+    placement = Placement.balanced(num_experts, topology.num_gpus, slots)
+    decisions: list = []
+    start = time.perf_counter()
+    for step in range(trace.num_steps):
+        assignment = trace.step(step)
+        decision = policy.make_plan(assignment, placement)
+        for action in decision.actions:
+            action.apply(placement)
+        moves = migration.plan(assignment, placement)
+        for move in moves:
+            move.apply(placement)
+        decisions.append((decision.actions, tuple(moves)))
+    elapsed = time.perf_counter() - start
+    return elapsed, decisions, policy, migration
+
+
+def planner_benchmark(
+    num_experts: int = 64,
+    num_gpus: int = 16,
+    num_steps: int = 30,
+    tokens_per_gpu: int = 32_768,
+    skew: float = 1.3,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Planner rounds/sec: delta-cost search vs the reference evaluator.
+
+    One planner round = one Policy Maker ``make_plan`` plus one Migrate
+    ``plan`` on the same assignment.  Both passes replay the identical
+    drifting trace from the identical initial placement against the same
+    noisy profile, and their decision logs must match exactly.
+    """
+    model = MoEModelConfig(
+        name=f"perf-{num_experts}e",
+        num_layers=2,
+        d_model=2048,
+        d_ffn=8192,
+        num_experts=num_experts,
+    )
+    topology = ClusterTopology(cluster_for(num_gpus))
+    profile = Profiler(topology, noise=0.02, seed=seed).profile(model)
+    cost_model = MoECostModel(profile, model)
+    trace = DriftingRoutingGenerator(
+        num_experts,
+        num_gpus,
+        WorkloadConfig(
+            tokens_per_step=tokens_per_gpu * num_gpus,
+            num_steps=num_steps,
+            skew=skew,
+            seed=seed,
+        ),
+    ).generate()
+    slots = auto_slots_per_gpu(num_experts, num_gpus)
+    rounds = 2 * trace.num_steps  # policy round + migrate round per step
+
+    # Untimed warm-up replay: both timed passes visit the same replica
+    # groups (their decisions are identical), so pre-populating the
+    # profile's lazy AllReduce cache keeps first-probe costs out of the
+    # timings — whichever pass runs first would otherwise pay them all.
+    _planner_pass(cost_model, topology, trace, slots, use_delta=True)
+
+    ref_s, ref_decisions, ref_policy, _ = _planner_pass(
+        cost_model, topology, trace, slots, use_delta=False
+    )
+    delta_s, delta_decisions, policy, migration = _planner_pass(
+        cost_model, topology, trace, slots, use_delta=True
+    )
+    fallbacks = policy.delta.fallbacks + migration.delta.fallbacks
+    return {
+        "num_experts": num_experts,
+        "num_gpus": num_gpus,
+        "num_steps": num_steps,
+        "rounds": rounds,
+        "reference_seconds": ref_s,
+        "delta_seconds": delta_s,
+        "reference_rounds_per_sec": rounds / ref_s if ref_s > 0 else 0.0,
+        "delta_rounds_per_sec": rounds / delta_s if delta_s > 0 else 0.0,
+        "speedup": ref_s / delta_s if delta_s > 0 else float("inf"),
+        "decisions_match": ref_decisions == delta_decisions,
+        "delta": {**policy.delta.stats(), **{
+            f"migration_{k}": v for k, v in migration.delta.stats().items()
+        }},
+        "fallbacks": float(fallbacks),
+        "memo": ref_policy.memo.stats(),
+    }
+
+
+def pipeline_overhead_benchmark(
+    num_moe_layers: int = 4,
+    num_gpus: int = 16,
+    num_experts: int = 32,
+    num_steps: int = 30,
+    tokens_per_gpu: int = 32_768,
+    seed: int = 0,
+) -> dict[str, object]:
+    """End-to-end simulated steps/sec of the multi-layer engine,
+    delta evaluation on vs off (identical seeds and simulated results)."""
+    from repro.runtime.pipeline import build_engine
+    from repro.training.loop import simulate_pipeline
+
+    model = MoEModelConfig(
+        name=f"perf-pipeline-{num_moe_layers}L",
+        num_layers=2 * num_moe_layers,
+        d_model=2048,
+        d_ffn=8192,
+        num_experts=num_experts,
+    )
+    trace = make_multilayer_trace(
+        num_moe_layers,
+        num_experts,
+        num_gpus,
+        WorkloadConfig(
+            tokens_per_step=tokens_per_gpu * num_gpus,
+            num_steps=num_steps,
+            seed=seed,
+        ),
+    )
+
+    def run(delta: bool) -> tuple[float, float, float]:
+        engine = build_engine(
+            cluster_for(num_gpus),
+            model,
+            num_moe_layers=num_moe_layers,
+            scheduler_config=SchedulerConfig(delta_evaluation=delta),
+            seed=seed,
+        )
+        start = time.perf_counter()
+        result = simulate_pipeline(engine, trace, warmup=min(5, num_steps - 1))
+        elapsed = time.perf_counter() - start
+        return elapsed, result.mean_step_time, float(engine.delta_fallbacks())
+
+    ref_s, ref_sim, _ = run(False)
+    delta_s, delta_sim, fallbacks = run(True)
+    return {
+        "num_moe_layers": num_moe_layers,
+        "num_gpus": num_gpus,
+        "num_experts": num_experts,
+        "num_steps": num_steps,
+        "reference_seconds": ref_s,
+        "delta_seconds": delta_s,
+        "reference_steps_per_sec": num_steps / ref_s if ref_s > 0 else 0.0,
+        "delta_steps_per_sec": num_steps / delta_s if delta_s > 0 else 0.0,
+        "speedup": ref_s / delta_s if delta_s > 0 else float("inf"),
+        "simulated_results_match": bool(np.isclose(
+            ref_sim, delta_sim, rtol=1e-12, atol=0.0
+        )),
+        "fallbacks": fallbacks,
+    }
+
+
+def faults_overhead_benchmark(
+    num_moe_layers: int = 2,
+    num_gpus: int = 8,
+    num_experts: int = 16,
+    num_steps: int = 40,
+    seed: int = 0,
+) -> dict[str, object]:
+    """The faults scenario (failure + straggler, FlexMoE vs Static) with
+    delta evaluation on vs off."""
+
+    def run(delta: bool) -> tuple[float, float, float, float]:
+        start = time.perf_counter()
+        result = faults_run(
+            num_moe_layers=num_moe_layers,
+            num_gpus=num_gpus,
+            num_experts=num_experts,
+            num_steps=num_steps,
+            seed=seed,
+            delta_evaluation=delta,
+        )
+        elapsed = time.perf_counter() - start
+        summary = result.summary()
+        return (
+            elapsed,
+            float(summary["flexmoe"]["final"]),
+            float(summary["flexmoe_actions"]),
+            float(result.delta_fallbacks),
+        )
+
+    ref_s, ref_final, ref_actions, _ = run(False)
+    delta_s, delta_final, delta_actions, fallbacks = run(True)
+    steps = 2 * num_steps  # the scenario simulates FlexMoE + Static runs
+    return {
+        "num_moe_layers": num_moe_layers,
+        "num_gpus": num_gpus,
+        "num_experts": num_experts,
+        "num_steps": num_steps,
+        "reference_seconds": ref_s,
+        "delta_seconds": delta_s,
+        "reference_steps_per_sec": steps / ref_s if ref_s > 0 else 0.0,
+        "delta_steps_per_sec": steps / delta_s if delta_s > 0 else 0.0,
+        "speedup": ref_s / delta_s if delta_s > 0 else float("inf"),
+        "simulated_results_match": bool(np.isclose(
+            ref_final, delta_final, rtol=1e-12, atol=0.0
+        )) and ref_actions == delta_actions,
+        "flexmoe_actions": delta_actions,
+        "fallbacks": fallbacks,
+    }
+
+
+def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
+    """The full scheduling-overhead report.
+
+    ``smoke`` shrinks every scenario to CI scale (seconds, not minutes)
+    without changing the structure.  The ``ok`` verdict requires zero
+    delta fallbacks and full decision/simulation equivalence; CI gates on
+    it.  Speedups are recorded for the perf trajectory, not gated here —
+    the acceptance thresholds live in ``benchmarks/bench_planner_delta.py``
+    where timing noise is controlled.
+    """
+    if smoke:
+        planner = planner_benchmark(
+            num_experts=32, num_gpus=8, num_steps=12, seed=seed
+        )
+        pipeline = pipeline_overhead_benchmark(
+            num_moe_layers=2, num_gpus=8, num_experts=16, num_steps=12,
+            seed=seed,
+        )
+        faults = faults_overhead_benchmark(
+            num_moe_layers=2, num_gpus=8, num_experts=16, num_steps=25,
+            seed=seed,
+        )
+    else:
+        planner = planner_benchmark(seed=seed)
+        pipeline = pipeline_overhead_benchmark(seed=seed)
+        faults = faults_overhead_benchmark(seed=seed)
+    fallbacks = (
+        float(planner["fallbacks"])
+        + float(pipeline["fallbacks"])
+        + float(faults["fallbacks"])
+    )
+    ok = (
+        bool(planner["decisions_match"])
+        and bool(pipeline["simulated_results_match"])
+        and bool(faults["simulated_results_match"])
+        and fallbacks == 0.0
+    )
+    return {
+        "suite": "step_overhead",
+        "smoke": smoke,
+        "seed": seed,
+        "planner": planner,
+        "pipeline": pipeline,
+        "faults": faults,
+        "total_fallbacks": fallbacks,
+        "ok": ok,
+    }
+
+
+def write_report(report: dict[str, object], path: str | Path) -> Path:
+    """Persist a perf report as machine-readable JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

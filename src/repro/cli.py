@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Four subcommands expose the simulation engine without writing any code:
+Five subcommands expose the simulation engine without writing any code:
 
 * ``run``     — multi-layer pipelined FlexMoE run with an overlap-aware
   step-time breakdown and per-layer placement divergence;
@@ -10,7 +10,11 @@ Four subcommands expose the simulation engine without writing any code:
   parallelism / FasterMoE / FlexMoE) on one workload;
 * ``faults``  — the elastic-cluster scenario engine: seeded device
   failures, recoveries and stragglers injected into identical FlexMoE
-  and static runs (see ``docs/elasticity.md``).
+  and static runs (see ``docs/elasticity.md``);
+* ``perf``    — the scheduling-overhead harness: planner rounds/sec and
+  end-to-end simulated steps/sec of the delta-cost search vs the
+  full-recompute reference evaluator, written to
+  ``BENCH_step_overhead.json`` (see ``docs/performance.md``).
 
 Every benchmark in ``benchmarks/`` and example in ``examples/`` builds on
 the same harness functions these commands call, so the CLI is the quickest
@@ -178,6 +182,35 @@ def _add_faults_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json", action="store_true", help="machine-readable output")
 
 
+def _add_perf_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "perf",
+        help="scheduling-overhead benchmark (delta vs reference evaluator)",
+        description=(
+            "Benchmark the placement search hot path: planner rounds/sec "
+            "and end-to-end simulated steps/sec with the incremental "
+            "delta-cost evaluator vs the full-recompute reference path, "
+            "asserting identical scheduling decisions. Writes the "
+            "machine-readable report to BENCH_step_overhead.json."
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-scale scenarios; fails if the delta path ever falls back "
+        "to full recomputation or decisions diverge",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--output",
+        default="BENCH_step_overhead.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: "
+        "BENCH_step_overhead.json in the current directory)",
+    )
+    p.add_argument("--json", action="store_true", help="print the report too")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -189,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench_parser(sub)
     _add_compare_parser(sub)
     _add_faults_parser(sub)
+    _add_perf_parser(sub)
     return parser
 
 
@@ -428,6 +462,71 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.perf import perf_suite, write_report
+
+    output = Path(args.output)
+    probe_created = not output.exists()
+
+    def _remove_empty_probe() -> None:
+        # A failure after the probe must not leave the empty probe file
+        # behind masquerading as a report.
+        if probe_created:
+            try:
+                if output.stat().st_size == 0:
+                    output.unlink()
+            except OSError:
+                pass
+
+    try:
+        # Probe the report path up front: the suite runs for minutes and
+        # an unwritable --output should fail in milliseconds, not after.
+        with open(output, "a", encoding="utf-8"):
+            pass
+        report = perf_suite(smoke=args.smoke, seed=args.seed)
+        path = write_report(report, output)
+    except OSError as exc:
+        _remove_empty_probe()
+        print(f"error: cannot write report to {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
+    except BaseException:
+        _remove_empty_probe()
+        raise
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+
+    planner = report["planner"]
+    print(
+        f"planner   delta {planner['delta_rounds_per_sec']:8.1f} rounds/s vs "
+        f"reference {planner['reference_rounds_per_sec']:8.1f} rounds/s "
+        f"({planner['speedup']:.1f}x), decisions "
+        f"{'identical' if planner['decisions_match'] else 'DIVERGED'}"
+    )
+    for name in ("pipeline", "faults"):
+        section = report[name]
+        print(
+            f"{name:<9} delta {section['delta_steps_per_sec']:8.1f} steps/s "
+            f"vs reference {section['reference_steps_per_sec']:8.1f} steps/s "
+            f"({section['speedup']:.1f}x), simulation "
+            f"{'identical' if section['simulated_results_match'] else 'DIVERGED'}"
+        )
+    memo = planner["memo"]
+    print(
+        f"memo      hits {int(memo['hits'])}  misses {int(memo['misses'])}  "
+        f"hit rate {memo['hit_rate']:.2f}"
+    )
+    print(
+        f"delta fallbacks to full recompute: {int(report['total_fallbacks'])}"
+    )
+    print(f"report written to {path}")
+    print("perf:", "OK" if report["ok"] else "FAILED")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -435,6 +534,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "compare": _cmd_compare,
         "faults": _cmd_faults,
+        "perf": _cmd_perf,
     }
     try:
         return handlers[args.command](args)

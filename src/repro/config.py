@@ -394,6 +394,11 @@ class SchedulerConfig:
             vExpert); elastic runs use 2 so a single device failure never
             destroys an expert's only copy of its model states —
             replication headroom doubles as fault tolerance.
+        delta_evaluation: Score what-if candidates incrementally through
+            :class:`~repro.core.delta.DeltaStepCost` (default). ``False``
+            restores the full-recompute reference evaluator in both the
+            Policy Maker and the Migrate planner — the audited baseline
+            ``python -m repro perf`` benchmarks the delta path against.
     """
 
     balance_threshold: float = 1.15
@@ -407,6 +412,7 @@ class SchedulerConfig:
     slots_per_gpu: int | None = None
     speed_aware_balance: bool = False
     min_replicas: int = 1
+    delta_evaluation: bool = True
 
     def __post_init__(self) -> None:
         _require(self.balance_threshold >= 1.0, "balance_threshold must be >= 1")

@@ -50,7 +50,7 @@ def gpu_loads_even_split(assignment: np.ndarray, placement: Placement) -> np.nda
     if assignment.ndim != 2:
         raise RoutingError("assignment must be (experts, gpus)")
     expert_totals = assignment.sum(axis=1).astype(float)
-    counts = placement.counts.astype(float)
+    counts = placement.counts_view.astype(float)
     replicas = counts.sum(axis=1)
     if (replicas < 1).any():
         raise RoutingError("placement has an expert with no vExpert")

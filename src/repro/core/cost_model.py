@@ -21,6 +21,7 @@ into the ground-truth executor's timing model.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
@@ -174,7 +175,7 @@ class MoECostModel:
         profile's lazy noisy-measurement stream is unchanged) and the
         per-GPU accumulation is a single membership-matrix product.
         """
-        member = placement.counts > 0  # (experts, gpus)
+        member = placement.counts_view > 0  # (experts, gpus)
         multi = np.flatnonzero(member.sum(axis=1) > 1)
         if multi.size == 0:
             return np.zeros(placement.num_gpus)
@@ -295,20 +296,41 @@ class MemoizedStepCost:
         self.hits = 0
         self.misses = 0
 
-    def step_time(self, assignment: np.ndarray, placement: Placement) -> float:
+    @staticmethod
+    def assignment_key(assignment: np.ndarray) -> tuple:
+        """Content digest of a load matrix, reusable across many queries.
+
+        The Policy Maker evaluates every candidate of a scheduling round
+        against the *same* assignment; computing this once per round and
+        passing it to :meth:`step_time` means the per-candidate key
+        construction never re-hashes the full ``(experts, gpus)`` matrix.
+        """
+        loads = np.ascontiguousarray(assignment, dtype=np.float64)
+        digest = hashlib.blake2b(loads.tobytes(), digest_size=16).digest()
+        return (loads.shape, digest)
+
+    def step_time(
+        self,
+        assignment: np.ndarray,
+        placement: Placement,
+        assignment_key: tuple | None = None,
+    ) -> float:
         """Modelled step time of ``assignment`` under ``placement``.
 
         Identical to routing the assignment fractionally and asking the
         cost model, but cached on the (placement, load-vector) pair.
+        ``assignment_key`` (from :meth:`assignment_key`) skips re-hashing
+        the loads; the placement side of the key uses the placement's
+        cached signature, so hits on unchanged configurations are O(1).
         """
-        loads = np.ascontiguousarray(assignment, dtype=np.float64)
+        if assignment_key is None:
+            assignment_key = self.assignment_key(assignment)
         # The cluster-state version keys out costs priced against a device
         # pool that an elasticity event has since changed.
         key = (
             self._cost_model.state_version,
             placement.signature(),
-            loads.shape,
-            loads.tobytes(),
+            assignment_key,
         )
         cached = self._cache.get(key)
         if cached is not None:
@@ -322,3 +344,12 @@ class MemoizedStepCost:
             self._cache.popitem(last=False)
         self.misses += 1
         return value
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss accounting for bench reporting."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "entries": float(len(self._cache)),
+        }

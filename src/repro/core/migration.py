@@ -29,10 +29,11 @@ import numpy as np
 from repro.cluster.profiler import ClusterProfile
 from repro.cluster.topology import ClusterTopology
 from repro.core.cost_model import MoECostModel
+from repro.core.delta import DeltaStepCost
 from repro.core.placement import Placement
 from repro.core.primitives import Expand, Migrate, PlacementAction, Shrink
 from repro.core.router import FlexibleTokenRouter
-from repro.exceptions import ElasticityError, SchedulingError
+from repro.exceptions import ElasticityError, PlacementError, SchedulingError
 
 
 class MigrationPlanner:
@@ -48,6 +49,10 @@ class MigrationPlanner:
         min_replicas: Distinct-device floor every expert must keep after a
             move (1 in the paper's setting; 2 in elastic runs so a single
             device failure never orphans an expert).
+        use_delta: Score candidate exchanges incrementally through
+            :class:`~repro.core.delta.DeltaStepCost` and the placement
+            trial journal (default). ``False`` restores the
+            copy-per-candidate full-recompute reference path.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class MigrationPlanner:
         max_moves: int = 2,
         max_candidates: int = 6,
         min_replicas: int = 1,
+        use_delta: bool = True,
     ) -> None:
         if max_moves < 0:
             raise SchedulingError("max_moves must be >= 0")
@@ -69,7 +75,18 @@ class MigrationPlanner:
         self._max_moves = max_moves
         self._max_candidates = max_candidates
         self._min_replicas = min_replicas
+        self._use_delta = use_delta
+        self._delta = DeltaStepCost(cost_model) if use_delta else None
         self._router = FlexibleTokenRouter()
+
+    @property
+    def delta(self) -> DeltaStepCost | None:
+        """The incremental evaluator (``None`` on the reference path)."""
+        return self._delta
+
+    @property
+    def uses_delta(self) -> bool:
+        return self._use_delta
 
     def total_sync_time(self, placement: Placement) -> float:
         """Sum of per-GPU sync seconds (diagnostic helper)."""
@@ -165,11 +182,104 @@ class MigrationPlanner:
         live = self._cost_model.live_mask()
         return [int(g) for g in np.argsort(gpu_loads) if live[g]][:4]
 
+    def _evaluate_exchange(
+        self, assignment: np.ndarray, placement: Placement, action: Migrate
+    ) -> float | None:
+        """Reference-path evaluation of one exchange: copy the placement,
+        apply, re-route everything. Returns ``None`` if the action is
+        invalid or would consolidate below the replication floor.
+
+        (The delta path never takes this road — it batch-scores every
+        exchange of a pass through
+        :meth:`DeltaStepCost.exchange_candidate_times`.)
+        """
+        candidate = placement.copy()
+        try:
+            action.apply(candidate)
+        except PlacementError:
+            return None
+        if self._below_floor(candidate, action):
+            return None
+        return self.step_time(assignment, candidate)
+
+    def _below_floor(self, placement: Placement, action: Migrate) -> bool:
+        """Whether the applied exchange consolidated either expert below
+        the distinct-device replication floor."""
+        return self._min_replicas > 1 and (
+            len(placement.gpus_of(action.expert_a)) < self._min_replicas
+            or len(placement.gpus_of(action.expert_b)) < self._min_replicas
+        )
+
+    def _enumerate_exchanges(
+        self, assignment: np.ndarray, placement: Placement
+    ) -> list[Migrate]:
+        """Candidate exchanges in search order, pre-validated.
+
+        Validity (both cells occupied, distinct experts/GPUs) is guaranteed
+        by construction; the distinct-device replication floor is checked
+        arithmetically on the base counts so no candidate ever needs a
+        placement mutation just to be rejected.
+        """
+        counts = placement.counts_view
+        distinct = (counts > 0).sum(axis=1)
+        actions: list[Migrate] = []
+        per_replica = self._per_replica_loads(assignment, placement)
+        gpu_loads = self._weighted_gpu_loads(per_replica, placement)
+        targets = self._candidate_targets(gpu_loads)
+        for expert, src in self._candidate_sources(
+            per_replica, placement, gpu_loads
+        ):
+            for dst in targets:
+                if dst == src:
+                    continue
+                for partner in placement.experts_on(dst):
+                    if partner == expert:
+                        continue
+                    if self._min_replicas > 1:
+                        after_expert = (
+                            distinct[expert]
+                            - (counts[expert, src] == 1)
+                            + (counts[expert, dst] == 0)
+                        )
+                        after_partner = (
+                            distinct[partner]
+                            - (counts[partner, dst] == 1)
+                            + (counts[partner, src] == 0)
+                        )
+                        if (
+                            after_expert < self._min_replicas
+                            or after_partner < self._min_replicas
+                        ):
+                            continue  # would consolidate below the floor
+                    actions.append(
+                        Migrate(
+                            expert_a=expert, gpu_a=src,
+                            expert_b=partner, gpu_b=dst,
+                        )
+                    )
+        return actions
+
     def _best_move(
         self, assignment: np.ndarray, placement: Placement
     ) -> Migrate | None:
+        if self._delta is not None:
+            baseline = self._delta.rebase(assignment, placement)
+            actions = self._enumerate_exchanges(assignment, placement)
+            if not actions:
+                return None
+            pairs = np.array(
+                [(a.expert_a, a.gpu_a, a.expert_b, a.gpu_b) for a in actions]
+            )
+            times = self._delta.exchange_candidate_times(placement, pairs)
+            best_action: Migrate | None = None
+            best_time = baseline
+            for action, time in zip(actions, times):
+                if time < best_time - 1e-12:
+                    best_time = float(time)
+                    best_action = action
+            return best_action
         baseline = self.step_time(assignment, placement)
-        best_action: Migrate | None = None
+        best_action = None
         best_time = baseline
         per_replica = self._per_replica_loads(assignment, placement)
         gpu_loads = self._weighted_gpu_loads(per_replica, placement)
@@ -187,18 +297,10 @@ class MigrationPlanner:
                         expert_a=expert, gpu_a=src,
                         expert_b=partner, gpu_b=dst,
                     )
-                    candidate = placement.copy()
-                    try:
-                        action.apply(candidate)
-                    except Exception:
-                        continue
-                    if self._min_replicas > 1 and (
-                        len(candidate.gpus_of(expert)) < self._min_replicas
-                        or len(candidate.gpus_of(partner)) < self._min_replicas
-                    ):
-                        continue  # exchange would consolidate below the floor
-                    time = self.step_time(assignment, candidate)
-                    if time < best_time - 1e-12:
+                    time = self._evaluate_exchange(
+                        assignment, placement, action
+                    )
+                    if time is not None and time < best_time - 1e-12:
                         best_time = time
                         best_action = action
         return best_action

@@ -16,11 +16,15 @@ A :class:`Placement` therefore reduces to an integer count matrix
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
 from repro.exceptions import PlacementError
+
+#: A rollback token: (journal depth, version) captured by :meth:`begin_trial`.
+TrialToken = tuple[int, int]
 
 
 class Placement:
@@ -40,6 +44,9 @@ class Placement:
             raise PlacementError("counts must be integral")
         self._counts = arr.astype(np.int64, copy=True)
         self._slots_per_gpu = int(slots_per_gpu)
+        self._version = 0
+        self._signature_cache: bytes | None = None
+        self._journal: list[tuple[int, int, int]] | None = None
         self.validate()
 
     # ------------------------------------------------------------------
@@ -135,6 +142,36 @@ class Placement:
         """Copy of the vExpert count matrix ``(experts, gpus)``."""
         return self._counts.copy()
 
+    @property
+    def counts_view(self) -> np.ndarray:
+        """Read-only view of the count matrix (no copy).
+
+        Hot paths (routing, cost evaluation) read the placement hundreds of
+        times per scheduling round; the view avoids an O(E*G) copy per read.
+        The view tracks in-place mutation — do not hold it across placement
+        changes unless that is what you want.
+        """
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation.
+
+        A (placement object, version) pair identifies a placement state
+        cheaply: evaluator caches use it to detect staleness in O(1) instead
+        of hashing the full count matrix. :meth:`rollback` restores the
+        version captured by its token, so a trial that was fully undone
+        compares equal to the state it started from.
+        """
+        return self._version
+
+    def row(self, expert: int) -> np.ndarray:
+        """Copy of one expert's per-GPU vExpert counts."""
+        self._check_expert(expert)
+        return self._counts[expert].copy()
+
     def count(self, expert: int, gpu: int) -> int:
         self._check_expert(expert)
         self._check_gpu(gpu)
@@ -172,13 +209,24 @@ class Placement:
     # ------------------------------------------------------------------
     # Mutation (used by the primitives; prefer applying PlacementActions)
     # ------------------------------------------------------------------
+    def _mutate(self, *cells: tuple[int, int, int]) -> None:
+        """Apply per-cell count deltas; the single funnel every mutation
+        goes through, so the journal, version and signature cache can
+        never drift from the count matrix."""
+        for expert, gpu, delta in cells:
+            self._counts[expert, gpu] += delta
+        if self._journal is not None:
+            self._journal.extend(cells)
+        self._version += 1
+        self._signature_cache = None
+
     def add_vexpert(self, expert: int, gpu: int) -> None:
         """Bind one free slot on ``gpu`` to ``expert``."""
         self._check_expert(expert)
         self._check_gpu(gpu)
         if self.free_slots(gpu) < 1:
             raise PlacementError(f"gpu {gpu} has no free vExpert slot")
-        self._counts[expert, gpu] += 1
+        self._mutate((expert, gpu, 1))
 
     def remove_vexpert(self, expert: int, gpu: int) -> None:
         """Release one vExpert of ``expert`` from ``gpu``."""
@@ -190,7 +238,7 @@ class Placement:
             raise PlacementError(
                 f"cannot remove the last vExpert of expert {expert}"
             )
-        self._counts[expert, gpu] -= 1
+        self._mutate((expert, gpu, -1))
 
     def move_vexpert(self, expert: int, src: int, dst: int) -> None:
         """Relocate one vExpert of ``expert`` from ``src`` to ``dst``."""
@@ -203,8 +251,7 @@ class Placement:
             raise PlacementError(f"expert {expert} has no vExpert on gpu {src}")
         if self.free_slots(dst) < 1:
             raise PlacementError(f"gpu {dst} has no free vExpert slot")
-        self._counts[expert, src] -= 1
-        self._counts[expert, dst] += 1
+        self._mutate((expert, src, -1), (expert, dst, 1))
 
     def swap_vexperts(self, expert_a: int, gpu_a: int, expert_b: int, gpu_b: int) -> None:
         """Exchange one vExpert of ``expert_a``@``gpu_a`` with one of
@@ -219,20 +266,84 @@ class Placement:
             raise PlacementError(f"expert {expert_a} has no vExpert on gpu {gpu_a}")
         if self._counts[expert_b, gpu_b] < 1:
             raise PlacementError(f"expert {expert_b} has no vExpert on gpu {gpu_b}")
-        self._counts[expert_a, gpu_a] -= 1
-        self._counts[expert_b, gpu_b] -= 1
-        self._counts[expert_a, gpu_b] += 1
-        self._counts[expert_b, gpu_a] += 1
+        self._mutate(
+            (expert_a, gpu_a, -1),
+            (expert_b, gpu_b, -1),
+            (expert_a, gpu_b, 1),
+            (expert_b, gpu_a, 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Trial journal (what-if search without per-candidate copies)
+    # ------------------------------------------------------------------
+    def begin_trial(self) -> TrialToken:
+        """Start recording mutations for a later :meth:`rollback`.
+
+        Returns an opaque token; trials nest (roll back inner tokens before
+        outer ones). While a journal is active the placement can be mutated
+        freely — including through the normal primitives — and restored to
+        the token's state in O(mutations) instead of copying the whole
+        E x D matrix per candidate.
+        """
+        if self._journal is None:
+            self._journal = []
+        return (len(self._journal), self._version)
+
+    def rollback(self, token: TrialToken) -> None:
+        """Undo every mutation recorded after ``token`` was issued.
+
+        Restores the count matrix, the version counter and (implicitly) the
+        signature, so caches keyed on ``(placement, version)`` remain valid
+        across a trial that was fully undone.
+        """
+        depth, version = token
+        journal = self._journal
+        if journal is None or depth > len(journal):
+            raise PlacementError("rollback token does not match an open trial")
+        while len(journal) > depth:
+            expert, gpu, delta = journal.pop()
+            self._counts[expert, gpu] -= delta
+        if depth == 0:
+            self._journal = None
+        self._version = version
+        self._signature_cache = None
+
+    @contextmanager
+    def trial(self) -> Iterator["Placement"]:
+        """Context manager: mutate freely inside, always rolled back on exit.
+
+        The single-candidate what-if idiom (custom planners, tests; the
+        built-in searchers batch candidates arithmetically instead)::
+
+            with placement.trial() as t:
+                action.apply(t)
+                time = evaluator.trial_time(t, changed=(e0, e1))
+            # placement is back to its pre-trial state here
+        """
+        token = self.begin_trial()
+        try:
+            yield self
+        finally:
+            self.rollback(token)
 
     # ------------------------------------------------------------------
     # Utility
     # ------------------------------------------------------------------
     def copy(self) -> "Placement":
-        return Placement(self._counts, self._slots_per_gpu)
+        clone = Placement(self._counts, self._slots_per_gpu)
+        clone._signature_cache = self._signature_cache
+        return clone
 
     def signature(self) -> bytes:
-        """Hashable snapshot of the mapping, for change detection in tests."""
-        return self._counts.tobytes()
+        """Hashable snapshot of the mapping (cached until the next mutation).
+
+        Used for change detection and as the exact content key of the
+        step-cost memo; the cache means repeated queries on an unchanged
+        placement cost O(1) instead of an O(E*G) ``tobytes``.
+        """
+        if self._signature_cache is None:
+            self._signature_cache = self._counts.tobytes()
+        return self._signature_cache
 
     def memory_bytes_per_gpu(self, expert_state_bytes: int) -> np.ndarray:
         """Model-state bytes held by each GPU.

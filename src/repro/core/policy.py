@@ -15,6 +15,22 @@ Because an expert may hold replicas on several GPUs, *which* replica of
 ``e1`` to shrink matters: every candidate GPU is evaluated and the best one
 wins. The Expand's source replica is chosen for cheapest transfer (same GPU
 if packing, otherwise the highest-bandwidth peer).
+
+Two evaluation paths score the candidates:
+
+* the **delta path** (default) — a :class:`~repro.core.delta.DeltaStepCost`
+  caches the base configuration's per-expert route/cost contributions once
+  per call and batch-scores every shrink GPU of a pair in one vectorized
+  pass, so a candidate costs O(changed experts * D) instead of re-deriving
+  the full E x D configuration;
+* the **reference path** (``use_delta=False``) — the original
+  copy-per-candidate search over the memoized full evaluator, retained as
+  the audited specification the delta path is equivalence-tested and
+  benchmarked against (``python -m repro perf``).
+
+Both paths enumerate candidates in the same order and compare with the
+same strict inequalities, so they propose identical plans (asserted on
+seeded scenarios by ``tests/test_policy_delta_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -24,10 +40,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cost_model import MemoizedStepCost, MoECostModel
+from repro.core.delta import DeltaStepCost
 from repro.core.placement import Placement
 from repro.core.primitives import Expand, PlacementAction, Shrink
 from repro.core.router import FlexibleTokenRouter
-from repro.exceptions import SchedulingError
+from repro.exceptions import PlacementError, SchedulingError
 
 
 @dataclass(frozen=True)
@@ -57,6 +74,9 @@ class PolicyMaker:
             charges only a small amortized share.
         min_replicas: Replication floor preserved by Shrink proposals
             (see :attr:`repro.config.SchedulerConfig.min_replicas`).
+        use_delta: Score candidates incrementally through
+            :class:`~repro.core.delta.DeltaStepCost` (default). ``False``
+            restores the full-recompute reference path.
     """
 
     def __init__(
@@ -67,6 +87,7 @@ class PolicyMaker:
         expand_candidates: int = 3,
         shrink_candidates: int = 2,
         min_replicas: int = 1,
+        use_delta: bool = True,
     ) -> None:
         if adjustment_horizon < 0:
             raise SchedulingError("adjustment_horizon must be >= 0")
@@ -77,6 +98,8 @@ class PolicyMaker:
         self._cost_model = cost_model
         self._router = router or FlexibleTokenRouter()
         self._memo = MemoizedStepCost(cost_model, self._router)
+        self._use_delta = use_delta
+        self._delta = DeltaStepCost(cost_model) if use_delta else None
         self._adjustment_horizon = adjustment_horizon
         self._expand_candidates = expand_candidates
         self._shrink_candidates = shrink_candidates
@@ -90,6 +113,15 @@ class PolicyMaker:
     def memo(self) -> MemoizedStepCost:
         """The (placement, load-vector) step-time memo backing the search."""
         return self._memo
+
+    @property
+    def delta(self) -> DeltaStepCost | None:
+        """The incremental evaluator (``None`` on the reference path)."""
+        return self._delta
+
+    @property
+    def uses_delta(self) -> bool:
+        return self._use_delta
 
     def estimate_step_time(
         self, assignment: np.ndarray, placement: Placement
@@ -108,7 +140,14 @@ class PolicyMaker:
     ) -> PolicyDecision:
         """Algorithm 2: propose one (Shrink, Expand) pair or nothing."""
         assignment = np.asarray(assignment)
-        t0 = self.estimate_step_time(assignment, placement)
+        if self._use_delta:
+            t0 = self._delta.rebase(assignment, placement)
+            assignment_key = None
+        else:
+            assignment_key = MemoizedStepCost.assignment_key(assignment)
+            t0 = self._memo.step_time(
+                assignment, placement, assignment_key=assignment_key
+            )
         expert_loads = assignment.sum(axis=1).astype(float)
         replicas = placement.replica_counts().astype(float)
         caps = expert_loads / replicas
@@ -119,7 +158,12 @@ class PolicyMaker:
             e0 = int(e0)
             shrinkable = self._find_shrink_candidates(caps, replicas, exclude=e0)
             for e1 in shrinkable[: self._shrink_candidates]:
-                decision = self._best_pair(assignment, placement, e0, e1, t0)
+                if self._use_delta:
+                    decision = self._sweep_pair(placement, e0, e1, t0)
+                else:
+                    decision = self._best_pair(
+                        assignment, placement, e0, e1, t0, assignment_key
+                    )
                 if decision is not None and (
                     best is None or decision.time_after < best.time_after
                 ):
@@ -148,6 +192,68 @@ class PolicyMaker:
             if replicas[e] > self._min_replicas and int(e) != exclude
         ]
 
+    def _sweep_pair(
+        self, placement: Placement, e0: int, e1: int, t0: float
+    ) -> PolicyDecision | None:
+        """Delta path: batch-score all shrink GPUs of (e1 -> e0) at once.
+
+        Candidate enumeration order, validity rules and tie-breaking are
+        identical to :meth:`_best_pair`; only the evaluation is
+        incremental (no placement copies, no full re-route).
+        """
+        counts1 = placement.counts_view[e1]
+        holders1 = np.flatnonzero(counts1)
+        if holders1.size == 0:
+            return None
+        # Shrinking the last copy on a GPU loses a distinct device; the
+        # floor is on distinct DEVICES (packed copies die together).
+        distinct_after = holders1.size - (counts1[holders1] == 1)
+        gpus = holders1[distinct_after >= self._min_replicas]
+        if gpus.size == 0:
+            return None
+        times = self._delta.pair_candidate_times(placement, e0, e1, gpus)
+        sources, adjustments = self._expand_sources_batch(placement, e0, gpus)
+        effective = times + self._amortized_vec(adjustments)
+        viable = effective < t0
+        if not viable.any():
+            return None
+        # First-best wins ties, exactly like the reference loop's strict
+        # `effective < best.time_after` update rule.
+        masked = np.where(viable, effective, np.inf)
+        pick = int(np.argmin(masked))
+        gpu = int(gpus[pick])
+        shrink = Shrink(expert=e1, gpu=gpu)
+        expand = Expand(expert=e0, gpu=gpu, source_gpu=int(sources[pick]))
+        return PolicyDecision(
+            actions=(shrink, expand),
+            time_before=t0,
+            time_after=float(effective[pick]),
+            adjustment_time=float(adjustments[pick]),
+        )
+
+    def _expand_sources_batch(
+        self, placement: Placement, expert: int, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cheapest source replica + transfer seconds per expand target.
+
+        Vectorized equivalent of :meth:`_expand_source` +
+        :meth:`MoECostModel.adjustment_cost` for one Expand: packing on a
+        holder GPU is free; otherwise the highest-bandwidth holder pays
+        ``state_bytes / Bw`` (first holder wins bandwidth ties, matching
+        ``max()`` over the ascending holder tuple).
+        """
+        counts = placement.counts_view[expert]
+        holders = np.flatnonzero(counts)
+        bw = self._cost_model.profile.bandwidth[np.ix_(holders, targets)]
+        best = np.argmax(bw, axis=0)
+        sources = holders[best]
+        state_bytes = self._cost_model.model.expert_state_bytes
+        adjustments = state_bytes / bw[best, np.arange(targets.size)]
+        packed = counts[targets] > 0
+        sources = np.where(packed, targets, sources)
+        adjustments = np.where(packed, 0.0, adjustments)
+        return sources, adjustments
+
     def _best_pair(
         self,
         assignment: np.ndarray,
@@ -155,15 +261,17 @@ class PolicyMaker:
         e0: int,
         e1: int,
         t0: float,
+        assignment_key: tuple | None = None,
     ) -> PolicyDecision | None:
-        """Best (Shrink e1@g, Expand e0@g) over all shrink GPUs ``g``."""
+        """Reference path: best (Shrink e1@g, Expand e0@g) over all shrink
+        GPUs ``g``, one full evaluation per candidate."""
         best: PolicyDecision | None = None
         for gpu in placement.gpus_of(e1):
             trial = placement.copy()
             shrink = Shrink(expert=e1, gpu=gpu)
             try:
                 shrink.apply(trial)
-            except Exception:  # last replica elsewhere raced; skip
+            except PlacementError:  # last replica elsewhere raced; skip
                 continue
             if len(trial.gpus_of(e1)) < self._min_replicas:
                 # The floor is on distinct DEVICES: packed copies on one
@@ -173,7 +281,9 @@ class PolicyMaker:
             source = self._expand_source(trial, e0, gpu)
             expand = Expand(expert=e0, gpu=gpu, source_gpu=source)
             expand.apply(trial)
-            t1 = self._memo.step_time(assignment, trial)
+            t1 = self._memo.step_time(
+                assignment, trial, assignment_key=assignment_key
+            )
             adjustment = self._cost_model.adjustment_cost([shrink, expand])
             effective = t1 + self._amortized(adjustment)
             if effective < t0 and (best is None or effective < best.time_after):
@@ -197,3 +307,8 @@ class PolicyMaker:
         if self._adjustment_horizon == 0:
             return 0.0
         return adjustment / self._adjustment_horizon
+
+    def _amortized_vec(self, adjustments: np.ndarray) -> np.ndarray:
+        if self._adjustment_horizon == 0:
+            return np.zeros_like(adjustments)
+        return adjustments / self._adjustment_horizon

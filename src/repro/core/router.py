@@ -104,7 +104,7 @@ class FlexibleTokenRouter:
         """
         demand = _validate_assignment(assignment, placement).astype(np.int64)
         num_experts, num_gpus = demand.shape
-        counts = placement.counts
+        counts = placement.counts_view
 
         totals = demand.sum(axis=1)
         replicas = counts.sum(axis=1)
@@ -188,7 +188,7 @@ class FlexibleTokenRouter:
             raise RoutingError(
                 f"assignment shape {assignment.shape} does not match placement"
             )
-        counts = placement.counts
+        counts = placement.counts_view
         num_experts, num_gpus = assignment.shape
         totals = assignment.sum(axis=1)
         replicas = counts.sum(axis=1).astype(float)

@@ -78,7 +78,10 @@ class Scheduler:
         self._config = config
         self._router = FlexibleTokenRouter()
         self._migration = MigrationPlanner(
-            policy.cost_model, topology, min_replicas=config.min_replicas
+            policy.cost_model,
+            topology,
+            min_replicas=config.min_replicas,
+            use_delta=config.delta_evaluation,
         )
         self._history: list[SchedulingOutcome] = []
 
@@ -98,6 +101,14 @@ class Scheduler:
     def cost_model(self) -> MoECostModel:
         return self._policy.cost_model
 
+    @property
+    def policy(self) -> PolicyMaker:
+        return self._policy
+
+    @property
+    def migration(self) -> MigrationPlanner:
+        return self._migration
+
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
@@ -113,10 +124,19 @@ class Scheduler:
             loads = (loads / cost_model.effective_tps())[cost_model.live_mask()]
         return metric_value(self._config.metric, loads)
 
-    def should_trigger(self, assignment: np.ndarray, step: int) -> bool:
+    def should_trigger(
+        self, assignment: np.ndarray, step: int, metric: float | None = None
+    ) -> bool:
+        """Whether the monitoring loop starts a scheduling round.
+
+        ``metric`` short-circuits the balance evaluation when the caller
+        already holds the current metric value (``on_step`` computes it
+        once and reuses it here), keeping the per-step trigger check off
+        the O(E*D) path.
+        """
         if self._config.mode == "static":
             return step % self._config.static_interval == 0
-        value = self.current_metric(assignment)
+        value = self.current_metric(assignment) if metric is None else metric
         return metric_threshold_exceeded(
             self._config.metric, value, self._config.balance_threshold
         )
@@ -129,7 +149,7 @@ class Scheduler:
         """
         assignment = np.asarray(assignment)
         metric_before = self.current_metric(assignment)
-        if not self.should_trigger(assignment, step):
+        if not self.should_trigger(assignment, step, metric=metric_before):
             outcome = SchedulingOutcome(
                 triggered=False,
                 metric_before=metric_before,

@@ -122,7 +122,11 @@ class LayerPipeline:
             model.num_experts, topology.num_gpus, config.slots_per_gpu
         )
         self._active = self._target.copy()
-        policy = PolicyMaker(self._cost_model, min_replicas=config.min_replicas)
+        policy = PolicyMaker(
+            self._cost_model,
+            min_replicas=config.min_replicas,
+            use_delta=config.delta_evaluation,
+        )
         self._scheduler = Scheduler(self._target, policy, config, topology)
         self._queue = AdjustmentQueue(model, collectives)
         # Each entry: [remaining_stream_seconds, actions_tuple]
@@ -591,6 +595,22 @@ class MultiLayerFlexMoEEngine:
     def distinct_placements(self) -> int:
         """Number of distinct active placements across layers."""
         return len(set(self.placement_signatures()))
+
+    def delta_fallbacks(self) -> int:
+        """Total delta-evaluator fallbacks to full recomputation across
+        every layer's Policy Maker and Migrate planner (0 when the
+        reference evaluator is configured). The perf harness gates on
+        this staying zero."""
+        total = 0
+        for layer in self._layers:
+            scheduler = layer.scheduler
+            for evaluator in (
+                scheduler.policy.delta,
+                scheduler.migration.delta,
+            ):
+                if evaluator is not None:
+                    total += evaluator.fallbacks
+        return total
 
     @property
     def cluster_state(self) -> ClusterState | None:

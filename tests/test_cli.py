@@ -1,4 +1,4 @@
-"""CLI smoke tests: python -m repro run|bench|compare|faults."""
+"""CLI smoke tests: python -m repro run|bench|compare|faults|perf."""
 
 import json
 
@@ -108,3 +108,34 @@ def test_faults_smoke_passes(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is True
     assert payload["first_failure_step"] == 10
+
+
+def test_perf_smoke_passes_and_writes_report(capsys, tmp_path):
+    out = tmp_path / "BENCH_step_overhead.json"
+    assert main(["perf", "--smoke", "--output", str(out), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["total_fallbacks"] == 0
+    assert payload["planner"]["decisions_match"] is True
+    assert payload["pipeline"]["simulated_results_match"] is True
+    assert payload["faults"]["simulated_results_match"] is True
+    written = json.loads(out.read_text())
+    assert written["suite"] == "step_overhead"
+    assert written["smoke"] is True
+
+
+def test_perf_unwritable_output_fails_fast(capsys, tmp_path):
+    target = tmp_path / "missing-dir" / "report.json"
+    assert main(["perf", "--smoke", "--output", str(target)]) == 2
+    err = capsys.readouterr().err
+    assert "error: cannot write report" in err
+
+
+def test_perf_human_readable(capsys, tmp_path):
+    out = tmp_path / "BENCH_step_overhead.json"
+    assert main(["perf", "--smoke", "--output", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "planner" in text and "rounds/s" in text
+    assert "decisions identical" in text
+    assert "fallbacks to full recompute: 0" in text
+    assert "perf: OK" in text

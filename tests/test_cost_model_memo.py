@@ -89,7 +89,9 @@ def test_capacity_validated(cost_model):
 
 
 def test_policy_maker_uses_memo(cost_model, rng):
-    policy = PolicyMaker(cost_model)
+    # The reference (non-delta) search path runs on the memo; the delta
+    # path has its own evaluator and is covered by test_delta_cost.py.
+    policy = PolicyMaker(cost_model, use_delta=False)
     placement = Placement.balanced(8, 4, 4)
     assignment = rng.integers(0, 5000, (8, 4))
     policy.make_plan(assignment, placement)
@@ -101,13 +103,28 @@ def test_policy_maker_uses_memo(cost_model, rng):
     assert policy.memo.hits > 0
 
 
+def test_assignment_key_precomputation_matches(cost_model, rng):
+    memo = MemoizedStepCost(cost_model)
+    placement = Placement.balanced(8, 4, 2)
+    assignment = rng.integers(0, 1000, (8, 4))
+    key = MemoizedStepCost.assignment_key(assignment)
+    direct = memo.step_time(assignment, placement)
+    keyed = memo.step_time(assignment, placement, assignment_key=key)
+    assert keyed == direct
+    assert memo.hits == 1  # the precomputed key found the same entry
+    stats = memo.stats()
+    assert stats["hits"] == 1.0 and stats["misses"] == 1.0
+
+
 def test_policy_decisions_unchanged_by_memo(cost_model, rng):
     # Two fresh policy makers (cold caches) agree; and a warm cache gives
     # the same plan as a cold one.
     placement = Placement.balanced(8, 4, 4)
     assignment = rng.integers(0, 5000, (8, 4))
-    cold = PolicyMaker(cost_model).make_plan(assignment, placement.copy())
-    warm_policy = PolicyMaker(cost_model)
+    cold = PolicyMaker(cost_model, use_delta=False).make_plan(
+        assignment, placement.copy()
+    )
+    warm_policy = PolicyMaker(cost_model, use_delta=False)
     warm_policy.make_plan(assignment, placement.copy())
     warm = warm_policy.make_plan(assignment, placement.copy())
     assert cold.actions == warm.actions
