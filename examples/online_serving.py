@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Online serving under diurnal load with a mid-run device failure.
+
+A day/night (diurnal) request stream drives the SLO-aware serving engine
+while one device fails mid-stream and later rejoins: the dynamic FlexMoE
+server evicts and re-homes the lost replicas, keeps rebalancing against
+the drifting topic mix, and is compared against the frozen StaticServing
+baseline on latency percentiles and goodput.
+
+Run:
+    python examples/online_serving.py
+
+Equivalent CLI:
+    python -m repro serve --arrival diurnal --failures 1
+"""
+
+import numpy as np
+
+from repro.bench.serving import serving_run
+from repro.config import FaultConfig
+
+
+def describe(report, slo) -> None:
+    latencies = 1e3 * report.latencies
+    print(f"  {report.engine}:")
+    print(
+        f"    p50 {np.percentile(latencies, 50):8.3f} ms   "
+        f"p95 {np.percentile(latencies, 95):8.3f} ms   "
+        f"p99 {np.percentile(latencies, 99):8.3f} ms"
+    )
+    print(
+        f"    goodput {report.goodput_tokens_per_s:12.0f} tokens/s   "
+        f"SLO attainment {report.slo_attainment:6.3f}   "
+        f"rejected {len(report.rejected)}"
+    )
+    print(
+        f"    queue/execute split: {1e3 * report.queue_times.mean():.3f} ms "
+        f"waiting + {1e3 * report.execute_times.mean():.3f} ms executing "
+        f"per request (mean)"
+    )
+    print(f"    placement actions committed: {report.placement_actions}")
+
+
+def main() -> None:
+    requests, fail_batch, recover = 400, 15, 20
+    print(
+        "Serving a diurnal request stream (day/night rate swings) on "
+        "8 GPUs;\n"
+        f"one device fails around batch {fail_batch} and rejoins "
+        f"{recover} batches later.\n"
+    )
+    result = serving_run(
+        num_requests=requests,
+        arrival="diurnal",
+        faults=FaultConfig(
+            num_failures=1,
+            failure_step=fail_batch,
+            recovery_steps=recover,
+            seed=0,
+        ),
+        seed=0,
+    )
+
+    print(
+        f"SLO: {1e3 * result.slo.latency_target:.3f} ms per request "
+        f"(queue wait + execute)"
+    )
+    describe(result.flexmoe, result.slo)
+    describe(result.static, result.slo)
+
+    summary = result.summary()
+    print(
+        f"\nFlexMoE-serving over StaticServing: "
+        f"p99 {summary['p99_speedup']:.2f}x faster, "
+        f"goodput {summary['goodput_gain']:.2f}x higher"
+    )
+    print(
+        "The dynamic server re-homed the failed device's experts and kept "
+        "rebalancing\nas the topic mix drifted; the static server only got "
+        "the forced eviction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,8 +20,12 @@ self-contained Python system:
   adjustment queue;
 * :mod:`repro.training` — end-to-end simulated training loops, efficiency
   metrics and the convergence model;
+* :mod:`repro.serving` — the online serving subsystem: SLO-aware request
+  streams, admission/micro-batching, and latency-triggered dynamic
+  placement (``docs/serving.md``);
 * :mod:`repro.bench` — the experiment harness regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation, plus the faults, perf and serving
+  comparison suites.
 
 Quickstart::
 
@@ -43,7 +47,15 @@ see ``docs/elasticity.md``)::
     result = faults_simulation(num_gpus=8, num_experts=16, num_steps=40)
     print(result.summary())
 
-Or from the command line: ``python -m repro run|bench|compare|faults|perf``.
+Online serving (SLO-aware request streams driving dynamic placement;
+see ``docs/serving.md``)::
+
+    from repro import serving_simulation
+    result = serving_simulation(num_requests=250)
+    print(result.summary())
+
+Or from the command line:
+``python -m repro run|bench|compare|faults|perf|serve``.
 """
 
 from repro.config import (
@@ -90,6 +102,7 @@ __all__ = [
     "faults_simulation",
     "pipeline_simulation",
     "quick_simulation",
+    "serving_simulation",
 ]
 
 
@@ -137,6 +150,28 @@ def faults_simulation(
         num_experts=num_experts,
         num_steps=num_steps,
         faults=faults,
+        seed=seed,
+    )
+
+
+def serving_simulation(
+    num_gpus: int = 8,
+    num_experts: int = 16,
+    num_requests: int = 250,
+    seed: int = 0,
+):
+    """Run an SLO-aware serving comparison: dynamic FlexMoE vs Static.
+
+    A convenience entry point for the serving quickstart; see
+    :func:`repro.bench.serving.serving_run` for every knob and
+    ``docs/serving.md`` for the stream/SLO model.
+    """
+    from repro.bench.serving import serving_run
+
+    return serving_run(
+        num_gpus=num_gpus,
+        num_experts=num_experts,
+        num_requests=num_requests,
         seed=seed,
     )
 

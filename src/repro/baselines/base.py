@@ -61,8 +61,13 @@ def build_context(
     jitter: float = 0.02,
     group_cache_capacity: int = 64,
     cluster_state: ClusterState | None = None,
+    inference: bool = False,
 ) -> SystemContext:
-    """Construct the full substrate for one experiment."""
+    """Construct the full substrate for one experiment.
+
+    ``inference=True`` builds the executor in inference mode (forward-only
+    steps, no gradient sync) for the online serving engine.
+    """
     topology = ClusterTopology(cluster)
     profile = Profiler(topology, noise=profile_noise, seed=seed).profile(model)
     cache = CommunicatorGroupCache(capacity=group_cache_capacity)
@@ -73,6 +78,7 @@ def build_context(
         seed=seed + 1,
         group_cache=cache,
         cluster_state=cluster_state,
+        inference=inference,
     )
     return SystemContext(
         topology=topology,

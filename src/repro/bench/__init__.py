@@ -2,9 +2,11 @@
 
 Every benchmark under ``benchmarks/`` maps to one table or figure of the
 evaluation section; :mod:`repro.bench.harness` holds the shared experiment
-drivers, :mod:`repro.bench.reporting` renders paper-style rows/series and
+drivers, :mod:`repro.bench.reporting` renders paper-style rows/series,
 :mod:`repro.bench.perf` measures the scheduling hot path (``python -m
-repro perf``, ``BENCH_step_overhead.json``).
+repro perf``, ``BENCH_step_overhead.json``) and
+:mod:`repro.bench.serving` compares the dynamic and static online servers
+(``python -m repro serve``, ``BENCH_serving_latency.json``).
 """
 
 from repro.bench.harness import (
@@ -21,9 +23,11 @@ from repro.bench.perf import (
     write_report,
 )
 from repro.bench.reporting import format_series, format_table
+from repro.bench.serving import ServingRunResult, serving_run
 
 __all__ = [
     "ExperimentScale",
+    "ServingRunResult",
     "faults_overhead_benchmark",
     "figure5_comparison",
     "format_series",
@@ -33,5 +37,6 @@ __all__ = [
     "planner_benchmark",
     "quick_comparison",
     "scalability_sweep",
+    "serving_run",
     "write_report",
 ]

@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Five subcommands expose the simulation engine without writing any code:
+Six subcommands expose the simulation engine without writing any code:
 
 * ``run``     — multi-layer pipelined FlexMoE run with an overlap-aware
   step-time breakdown and per-layer placement divergence;
@@ -14,7 +14,12 @@ Five subcommands expose the simulation engine without writing any code:
 * ``perf``    — the scheduling-overhead harness: planner rounds/sec and
   end-to-end simulated steps/sec of the delta-cost search vs the
   full-recompute reference evaluator, written to
-  ``BENCH_step_overhead.json`` (see ``docs/performance.md``).
+  ``BENCH_step_overhead.json`` (see ``docs/performance.md``);
+* ``serve``   — the online serving harness: an SLO-aware request stream
+  (bursty/diurnal arrival, drifting topics) served by the dynamic
+  FlexMoE server vs the frozen ``StaticServing`` baseline, with
+  p50/p95/p99 latency and goodput written to
+  ``BENCH_serving_latency.json`` (see ``docs/serving.md``).
 
 Every benchmark in ``benchmarks/`` and example in ``examples/`` builds on
 the same harness functions these commands call, so the CLI is the quickest
@@ -211,6 +216,83 @@ def _add_perf_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json", action="store_true", help="print the report too")
 
 
+def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="online serving: SLO-aware request stream, FlexMoE vs Static",
+        description=(
+            "Serve an identical seeded request stream (bursty or diurnal "
+            "arrival, drifting topic mix shifting expert popularity) with "
+            "the dynamic FlexMoE server and the frozen StaticServing "
+            "baseline, and report p50/p95/p99 latency and goodput under "
+            "the SLO. The report lands in BENCH_serving_latency.json."
+        ),
+    )
+    p.add_argument("--layers", type=int, default=2, help="MoE layers (default 2)")
+    p.add_argument("--experts", type=int, default=16, help="experts per layer")
+    p.add_argument("--gpus", type=int, default=8, help="cluster size")
+    p.add_argument(
+        "--requests", type=int, default=400, help="stream length (default 400)"
+    )
+    p.add_argument(
+        "--mean-tokens", type=int, default=512,
+        help="median request length in tokens",
+    )
+    p.add_argument(
+        "--batch-tokens", type=int, default=4096,
+        help="micro-batch token budget",
+    )
+    p.add_argument(
+        "--arrival", choices=("poisson", "bursty", "diurnal"),
+        default="bursty", help="arrival process (default bursty)",
+    )
+    p.add_argument(
+        "--load", type=float, default=0.9,
+        help="offered load vs the balanced token capacity (default 0.9)",
+    )
+    p.add_argument(
+        "--skew", type=float, default=2.0,
+        help="Zipf exponent of each topic's expert profile",
+    )
+    p.add_argument(
+        "--topics", type=int, default=4, help="topic vocabulary size"
+    )
+    p.add_argument(
+        "--topic-drift", type=float, default=0.4,
+        help="per-request drift of the topic mix",
+    )
+    p.add_argument(
+        "--slo-batches", type=float, default=8.0,
+        help="per-request SLO in balanced-batch durations",
+    )
+    p.add_argument(
+        "--failures", type=int, default=0,
+        help="devices failing mid-stream (elasticity; default 0)",
+    )
+    p.add_argument(
+        "--fail-batch", type=int, default=None,
+        help="batch index of the first failure (default: a third in)",
+    )
+    p.add_argument(
+        "--recover-after", type=int, default=None,
+        help="batches until a failed device rejoins (0 = never)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed CI scenario; fails on any SLO-comparison regression",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_serving_latency.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: "
+        "BENCH_serving_latency.json in the current directory)",
+    )
+    p.add_argument("--json", action="store_true", help="print the report too")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -223,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_parser(sub)
     _add_faults_parser(sub)
     _add_perf_parser(sub)
+    _add_serve_parser(sub)
     return parser
 
 
@@ -527,6 +610,105 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.serving import serving_run, write_report
+
+    if args.smoke:
+        # Fixed scenario CI gates on: skewed bursty stream near
+        # saturation, no faults. Must show dynamic placement strictly
+        # beating StaticServing on p99 AND goodput.
+        args.layers, args.experts, args.gpus = 2, 16, 8
+        args.requests, args.mean_tokens, args.batch_tokens = 250, 512, 4096
+        args.arrival, args.load, args.slo_batches = "bursty", 0.9, 8.0
+        args.skew, args.topics, args.topic_drift = 2.0, 4, 0.4
+        args.failures = 0
+
+    faults = None
+    if args.failures > 0:
+        expected_batches = max(
+            args.requests * args.mean_tokens // args.batch_tokens, 3
+        )
+        fail_batch = (
+            args.fail_batch
+            if args.fail_batch is not None
+            else max(1, expected_batches // 3)
+        )
+        recover = (
+            args.recover_after
+            if args.recover_after is not None
+            else expected_batches // 3
+        )
+        faults = FaultConfig(
+            num_failures=args.failures,
+            failure_step=fail_batch,
+            recovery_steps=recover if recover > 0 else None,
+            seed=args.seed,
+        )
+    result = serving_run(
+        num_moe_layers=args.layers,
+        num_gpus=args.gpus,
+        num_experts=args.experts,
+        num_requests=args.requests,
+        mean_tokens=args.mean_tokens,
+        max_batch_tokens=args.batch_tokens,
+        arrival=args.arrival,
+        load=args.load,
+        slo_batches=args.slo_batches,
+        skew=args.skew,
+        topic_drift=args.topic_drift,
+        num_topics=args.topics,
+        faults=faults,
+        seed=args.seed,
+    )
+    summary = result.summary()
+    try:
+        path = write_report(summary, Path(args.output))
+    except OSError as exc:
+        print(f"error: cannot write report to {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
+    ok = bool(summary["ok"]) or not args.smoke
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    scenario = summary["scenario"]
+    print(
+        f"serving: {args.layers} MoE layers x {args.experts} experts on "
+        f"{args.gpus} GPUs, {args.requests} requests ({args.arrival} "
+        f"arrival, load {args.load:.2f}, "
+        f"{scenario['rate_rps']:.0f} req/s calibrated)"
+    )
+    print(
+        f"  SLO: {1e3 * summary['slo_latency_s']:.3f} ms per request "
+        f"({args.slo_batches:g} balanced batches)"
+    )
+    print(
+        f"  {'server':<16} {'p50':>9} {'p95':>9} {'p99':>9} "
+        f"{'goodput':>12} {'SLO-att':>8} {'actions':>8}"
+    )
+    for name, key in (("FlexMoE-serving", "flexmoe"), ("StaticServing", "static")):
+        s = summary[key]
+        print(
+            f"  {name:<16} {1e3 * s['p50_latency_s']:>7.3f}ms "
+            f"{1e3 * s['p95_latency_s']:>7.3f}ms "
+            f"{1e3 * s['p99_latency_s']:>7.3f}ms "
+            f"{s['goodput_tokens_per_s']:>10.0f}/s "
+            f"{s['slo_attainment']:>8.3f} "
+            f"{int(s['placement_actions']):>8}"
+        )
+    print(
+        f"  p99 speedup over Static: {summary['p99_speedup']:.2f}x, "
+        f"goodput gain: {summary['goodput_gain']:.2f}x"
+    )
+    print(f"  report written to {path}")
+    if args.smoke:
+        print("serve smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -535,6 +717,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "faults": _cmd_faults,
         "perf": _cmd_perf,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -27,6 +27,11 @@ WIRE_BYTES_PER_ELEMENT = 2
 #: vExpert's model states are copied during ``Expand`` / ``Migrate``.
 ADAM_STATE_FACTOR = 3
 
+#: Fraction of a training step's expert FLOPs spent in the forward pass
+#: (backward ~= 2x the forward). Inference-shaped steps (online serving)
+#: run only this share of the calibrated forward+backward figures.
+FORWARD_FRACTION = 1.0 / 3.0
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:

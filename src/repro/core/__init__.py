@@ -14,6 +14,9 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.policy` — the Policy Maker (Algorithm 2);
 * :mod:`repro.core.scheduler` — the Scheduler loop (Algorithm 1) plus the
   background Migrate pass;
+* :mod:`repro.core.trigger` — the when-to-schedule predicates shared by
+  training (imbalance ratio, static intervals) and online serving
+  (latency/queue-depth SLO pressure);
 * :mod:`repro.core.flow_control` — the gate flow-control mechanism.
 """
 
@@ -29,15 +32,27 @@ from repro.core.router import (
 )
 from repro.core.scheduler import Scheduler, SchedulingOutcome
 from repro.core.flow_control import GateFlowController
+from repro.core.trigger import (
+    ImbalanceTrigger,
+    LatencyTrigger,
+    NeverTrigger,
+    StaticIntervalTrigger,
+    Trigger,
+    TriggerSignals,
+    trigger_from_config,
+)
 
 __all__ = [
     "CostBreakdown",
     "Expand",
     "FlexibleTokenRouter",
     "GateFlowController",
+    "ImbalanceTrigger",
+    "LatencyTrigger",
     "MemoizedStepCost",
     "Migrate",
     "MoECostModel",
+    "NeverTrigger",
     "Placement",
     "PlacementAction",
     "PolicyMaker",
@@ -46,6 +61,10 @@ __all__ = [
     "Scheduler",
     "SchedulingOutcome",
     "Shrink",
+    "StaticIntervalTrigger",
+    "Trigger",
+    "TriggerSignals",
     "balance_ratio",
+    "trigger_from_config",
     "variance_ratio",
 ]

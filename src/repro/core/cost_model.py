@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.cluster.profiler import ClusterProfile
-from repro.config import MoEModelConfig
+from repro.config import FORWARD_FRACTION, MoEModelConfig
 from repro.core.placement import Placement
 from repro.core.primitives import PlacementAction
 from repro.exceptions import ConfigurationError, RoutingError
@@ -86,20 +86,30 @@ class MoECostModel:
             compute costs are priced against the *current* per-device
             speeds (the runtime re-profiles on elasticity events) and
             :meth:`live_mask` reflects failures.
+        inference: Price inference-shaped steps (online serving): only
+            the forward share of the calibrated forward+backward compute,
+            two All-to-All passes (dispatch + combine, no backward) and
+            no replica-gradient synchronization. Off by default -- the
+            paper's training semantics.
     """
 
     #: All-to-All passes per training step (Eq. 8's factor).
     A2A_PASSES = 4
+
+    #: All-to-All passes per inference step (forward dispatch + combine).
+    INFERENCE_A2A_PASSES = 2
 
     def __init__(
         self,
         profile: ClusterProfile,
         model: MoEModelConfig,
         cluster_state: "ClusterState | None" = None,
+        inference: bool = False,
     ) -> None:
         self._profile = profile
         self._model = model
         self._cluster_state = cluster_state
+        self._inference = inference
 
     @property
     def model(self) -> MoEModelConfig:
@@ -114,6 +124,22 @@ class MoECostModel:
         return self._cluster_state
 
     @property
+    def inference(self) -> bool:
+        """Whether this model prices inference-shaped steps."""
+        return self._inference
+
+    @property
+    def a2a_passes(self) -> int:
+        """All-to-All passes per step under the configured step shape."""
+        return self.INFERENCE_A2A_PASSES if self._inference else self.A2A_PASSES
+
+    @property
+    def sync_bytes(self) -> int:
+        """Gradient bytes AllReduced per replicated expert (0 at inference:
+        serving never synchronizes gradients)."""
+        return 0 if self._inference else self._model.expert_bytes
+
+    @property
     def state_version(self) -> int:
         """Version of the attached cluster state (0 when detached).
 
@@ -123,11 +149,19 @@ class MoECostModel:
         return 0 if self._cluster_state is None else self._cluster_state.version
 
     def effective_tps(self) -> np.ndarray:
-        """Per-GPU expert TPS under the current device pool."""
+        """Per-GPU expert TPS under the current device pool and step shape.
+
+        Profiled TPS figures are calibrated on full forward+backward
+        steps; inference-shaped steps run only the forward share, so the
+        same device sustains ``1 / FORWARD_FRACTION`` times the token
+        rate.
+        """
         tps = self._profile.tps
-        if self._cluster_state is None:
-            return tps
-        return tps * self._cluster_state.speed_factors()
+        if self._cluster_state is not None:
+            tps = tps * self._cluster_state.speed_factors()
+        if self._inference:
+            tps = tps / FORWARD_FRACTION
+        return tps
 
     def live_mask(self) -> np.ndarray:
         """Boolean liveness vector (all-true when no state is attached)."""
@@ -145,6 +179,8 @@ class MoECostModel:
         tps = self._profile.tokens_per_second(gpu)
         if self._cluster_state is not None:
             tps *= self._cluster_state.speed_of(gpu)
+        if self._inference:
+            tps /= FORWARD_FRACTION
         return tokens / tps
 
     def compute_times(self, arrivals: np.ndarray) -> np.ndarray:
@@ -166,7 +202,7 @@ class MoECostModel:
         flow = routes.sum(axis=0) * self._model.token_bytes  # (src, dst)
         np.fill_diagonal(flow, 0.0)  # local tokens never cross a link
         per_dst = (flow / self._profile.bandwidth).sum(axis=0)
-        return self.A2A_PASSES * per_dst
+        return self.a2a_passes * per_dst
 
     def sync_times(self, placement: Placement) -> np.ndarray:
         """Per-GPU AllReduce seconds (Eq. 9) for replicated experts.
@@ -175,6 +211,8 @@ class MoECostModel:
         profile's lazy noisy-measurement stream is unchanged) and the
         per-GPU accumulation is a single membership-matrix product.
         """
+        if self._inference:
+            return np.zeros(placement.num_gpus)
         member = placement.counts_view > 0  # (experts, gpus)
         multi = np.flatnonzero(member.sum(axis=1) > 1)
         if multi.size == 0:

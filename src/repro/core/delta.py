@@ -78,10 +78,10 @@ class DeltaStepCost:
         profile = cost_model.profile
         self._inv_bw = 1.0 / profile.bandwidth
         self._inv_bw_diag = np.ascontiguousarray(np.diagonal(self._inv_bw))
-        self._a2a_factor = (
-            MoECostModel.A2A_PASSES * cost_model.model.token_bytes
-        )
-        self._grad_bytes = cost_model.model.expert_bytes
+        # Instance-level factors so inference-shaped cost models (two
+        # A2A passes, no gradient sync) price deltas consistently.
+        self._a2a_factor = cost_model.a2a_passes * cost_model.model.token_bytes
+        self._grad_bytes = cost_model.sync_bytes
         # Base state (populated by rebase()).
         self._placement: Placement | None = None
         self._placement_version = -1
@@ -170,7 +170,7 @@ class DeltaStepCost:
         """
         members = np.flatnonzero(counts_row)
         sync = np.zeros(counts_row.shape[-1])
-        if members.size > 1:
+        if self._grad_bytes and members.size > 1:
             group = tuple(int(g) for g in members)
             sync[members] = (
                 self._grad_bytes / self._cost_model.profile.allreduce_bps(group)

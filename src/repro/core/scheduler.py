@@ -2,10 +2,11 @@
 
 Every training step the Scheduler observes the gate's token assignment
 ``I``, evaluates the balance metric under the current placement, and — when
-the metric exceeds the threshold (dynamic mode) or a fixed interval elapses
-(static mode, Figure 6b ablation) — repeatedly asks the Policy Maker for
-(Shrink, Expand) pairs until no beneficial modification remains. A
-background Migrate pass then consolidates replica groups.
+its :class:`~repro.core.trigger.Trigger` fires (the balance metric exceeds
+the threshold in dynamic mode, a fixed interval elapses in static mode, or
+an SLO/queue-depth violation in serving runs) — repeatedly asks the Policy
+Maker for (Shrink, Expand) pairs until no beneficial modification remains.
+A background Migrate pass then consolidates replica groups.
 
 Adjustment transfers are pushed into an adjustment queue; with best-effort
 mode they overlap training on a separate stream (Section 4), otherwise they
@@ -20,17 +21,14 @@ import numpy as np
 
 from repro.cluster.topology import ClusterTopology
 from repro.config import SchedulerConfig
-from repro.core.balance import (
-    gpu_loads_even_split,
-    metric_threshold_exceeded,
-    metric_value,
-)
+from repro.core.balance import gpu_loads_even_split, metric_value
 from repro.core.cost_model import MoECostModel
 from repro.core.migration import MigrationPlanner
 from repro.core.placement import Placement
 from repro.core.policy import PolicyMaker
 from repro.core.primitives import PlacementAction, apply_actions
 from repro.core.router import FlexibleTokenRouter
+from repro.core.trigger import Trigger, TriggerSignals, trigger_from_config
 from repro.exceptions import SchedulingError
 
 
@@ -55,6 +53,12 @@ class SchedulingOutcome:
     rounds: int = 0
     adjustment_time: float = 0.0
 
+    # ``metric_before``/``metric_after`` are NaN on untriggered steps of
+    # triggers that do not consume the balance metric (LatencyTrigger,
+    # NeverTrigger): computing the O(E*D) loads purely for the record
+    # would defeat the point of such triggers. Triggered steps always
+    # carry real values.
+
 
 class Scheduler:
     """FlexMoE's monitoring + adjustment loop over one MoE layer.
@@ -64,6 +68,11 @@ class Scheduler:
         policy: The Policy Maker used for Expand/Shrink decisions.
         config: Trigger metric/mode/threshold configuration.
         topology: Cluster locality, needed by the Migrate planner.
+        trigger: When-to-schedule predicate. ``None`` (default) derives
+            the paper's trigger from ``config`` via
+            :func:`~repro.core.trigger.trigger_from_config`; serving runs
+            pass a :class:`~repro.core.trigger.LatencyTrigger` so the
+            identical monitoring loop fires on SLO pressure instead.
     """
 
     def __init__(
@@ -72,10 +81,14 @@ class Scheduler:
         policy: PolicyMaker,
         config: SchedulerConfig,
         topology: ClusterTopology,
+        trigger: Trigger | None = None,
     ) -> None:
         self._placement = placement
         self._policy = policy
         self._config = config
+        self._trigger = trigger if trigger is not None else trigger_from_config(config)
+        self._p99_latency: float | None = None
+        self._queue_tokens: float | None = None
         self._router = FlexibleTokenRouter()
         self._migration = MigrationPlanner(
             policy.cost_model,
@@ -109,9 +122,36 @@ class Scheduler:
     def migration(self) -> MigrationPlanner:
         return self._migration
 
+    @property
+    def trigger(self) -> Trigger:
+        return self._trigger
+
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
+    def observe_serving_signals(
+        self,
+        p99_latency: float | None = None,
+        queue_tokens: float | None = None,
+    ) -> None:
+        """Record the latest serving-side signals for the trigger.
+
+        Online serving pushes its rolling p99 request latency and
+        admission-queue depth here before each batch's scheduling phase;
+        a :class:`~repro.core.trigger.LatencyTrigger` reads them from the
+        per-step :class:`~repro.core.trigger.TriggerSignals`. Training
+        triggers ignore them.
+        """
+        self._p99_latency = p99_latency
+        self._queue_tokens = queue_tokens
+
+    def _signals(self, step: int, metric: float | None) -> TriggerSignals:
+        return TriggerSignals(
+            step=step,
+            balance_metric=metric,
+            p99_latency=self._p99_latency,
+            queue_tokens=self._queue_tokens,
+        )
     def current_metric(self, assignment: np.ndarray) -> float:
         loads = gpu_loads_even_split(assignment, self._placement)
         if self._config.speed_aware_balance:
@@ -129,17 +169,15 @@ class Scheduler:
     ) -> bool:
         """Whether the monitoring loop starts a scheduling round.
 
+        Delegates to the configured :class:`~repro.core.trigger.Trigger`.
         ``metric`` short-circuits the balance evaluation when the caller
         already holds the current metric value (``on_step`` computes it
-        once and reuses it here), keeping the per-step trigger check off
-        the O(E*D) path.
+        once and reuses it here); triggers that do not consume the
+        balance metric never pay for it.
         """
-        if self._config.mode == "static":
-            return step % self._config.static_interval == 0
-        value = self.current_metric(assignment) if metric is None else metric
-        return metric_threshold_exceeded(
-            self._config.metric, value, self._config.balance_threshold
-        )
+        if metric is None and self._trigger.requires_balance_metric:
+            metric = self.current_metric(assignment)
+        return self._trigger.should_trigger(self._signals(step, metric))
 
     def on_step(self, assignment: np.ndarray, step: int) -> SchedulingOutcome:
         """Run the monitoring loop for one step's assignment ``I``.
@@ -148,15 +186,27 @@ class Scheduler:
         returns the outcome record (also appended to :attr:`history`).
         """
         assignment = np.asarray(assignment)
-        metric_before = self.current_metric(assignment)
-        if not self.should_trigger(assignment, step, metric=metric_before):
+        # The balance metric is only computed when the trigger consumes
+        # it; for SLO-style triggers an untriggered step skips the
+        # O(E*D) load evaluation entirely (its outcome records NaN).
+        metric_before = (
+            self.current_metric(assignment)
+            if self._trigger.requires_balance_metric
+            else None
+        )
+        if not self._trigger.should_trigger(self._signals(step, metric_before)):
+            value = float("nan") if metric_before is None else metric_before
             outcome = SchedulingOutcome(
                 triggered=False,
-                metric_before=metric_before,
-                metric_after=metric_before,
+                metric_before=value,
+                metric_after=value,
             )
             self._history.append(outcome)
             return outcome
+        if metric_before is None:
+            # Triggered rounds always report real metrics: the before
+            # value anchors the outcome record and the improvement loop.
+            metric_before = self.current_metric(assignment)
 
         applied: list[PlacementAction] = []
         rounds = 0
@@ -169,10 +219,16 @@ class Scheduler:
             applied.extend(decision.actions)
             adjustment_time += decision.adjustment_time
             rounds += 1
-            value = self.current_metric(assignment)
-            if self._config.mode == "dynamic" and not metric_threshold_exceeded(
-                self._config.metric, value, self._config.balance_threshold
-            ):
+            value = (
+                self.current_metric(assignment)
+                if self._trigger.requires_balance_metric
+                else None
+            )
+            if not self._trigger.should_trigger(self._signals(step, value)):
+                # The trigger is satisfied (e.g. the balance metric fell
+                # back under its threshold); stop the round early. The
+                # static-interval trigger keeps firing at the same step,
+                # preserving its run-until-no-benefit semantics.
                 break
 
         run_migrate = self._config.migrate and (

@@ -1,0 +1,192 @@
+"""Scheduling triggers: WHEN a scheduling round starts.
+
+Algorithm 1 separates two questions the original code base answered in one
+place: *when* to start a scheduling round (the trigger predicate) and
+*what* to do once one starts (the Policy Maker / Migrate planners). This
+module owns the first question as a small protocol so every consumer of
+the placement core -- the training Scheduler and the online serving
+driver -- shares one code path instead of forking it:
+
+* :class:`ImbalanceTrigger` -- the paper's dynamic mode: fire when the
+  balance metric (Eq. 6 ratio or the variance ablation) exceeds the
+  threshold;
+* :class:`StaticIntervalTrigger` -- the Figure 6b ablation: fire every
+  ``interval`` steps unconditionally;
+* :class:`LatencyTrigger` -- the serving objective: fire when the rolling
+  p99 request latency violates its target or the admission queue backs up
+  past a token-depth limit (see ``docs/serving.md``);
+* :class:`NeverTrigger` -- scheduling disabled; the static baselines of
+  the faults and serving harnesses.
+
+A trigger consumes :class:`TriggerSignals`, the per-step observation
+record the Scheduler assembles: the step index, the (optionally
+pre-computed) balance metric, and -- in serving runs -- the latest
+latency/queue-depth signals pushed in through
+:meth:`repro.core.scheduler.Scheduler.observe_serving_signals`. Triggers
+that do not need the O(E*D) balance metric say so via
+``requires_balance_metric`` so the Scheduler can skip computing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Protocol, runtime_checkable
+
+from repro.core.balance import metric_threshold_exceeded
+from repro.exceptions import SchedulingError
+
+__all__ = [
+    "ImbalanceTrigger",
+    "LatencyTrigger",
+    "NeverTrigger",
+    "StaticIntervalTrigger",
+    "Trigger",
+    "TriggerSignals",
+    "trigger_from_config",
+]
+
+
+@dataclass(frozen=True)
+class TriggerSignals:
+    """One step's observations, as seen by a trigger.
+
+    Attributes:
+        step: Monotone step (training) or batch (serving) counter.
+        balance_metric: Current balance-metric value under the managed
+            placement, when the caller computed it (triggers with
+            ``requires_balance_metric=False`` may receive ``None``).
+        p99_latency: Rolling p99 request latency in seconds (serving
+            runs; ``None`` before any request completed or in training).
+        queue_tokens: Tokens waiting in the admission queue (serving
+            runs; ``None`` in training).
+    """
+
+    step: int
+    balance_metric: float | None = None
+    p99_latency: float | None = None
+    queue_tokens: float | None = None
+
+
+@runtime_checkable
+class Trigger(Protocol):
+    """Decides whether a scheduling round starts this step."""
+
+    #: Whether :meth:`should_trigger` consumes ``signals.balance_metric``
+    #: (lets the Scheduler skip the O(E*D) load evaluation otherwise).
+    requires_balance_metric: bool
+
+    def should_trigger(self, signals: TriggerSignals) -> bool:
+        """Whether the monitoring loop starts a scheduling round."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ImbalanceTrigger:
+    """The paper's dynamic trigger: balance metric above threshold.
+
+    Args:
+        metric: ``"max"`` (Eq. 6 balance ratio) or ``"variance"``.
+        threshold: Trigger threshold, interpreted per metric exactly as
+            :func:`repro.core.balance.metric_threshold_exceeded` does.
+    """
+
+    metric: str = "max"
+    threshold: float = 1.15
+
+    requires_balance_metric: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1.0:
+            raise SchedulingError("threshold must be >= 1")
+
+    def should_trigger(self, signals: TriggerSignals) -> bool:
+        if signals.balance_metric is None:
+            raise SchedulingError(
+                "ImbalanceTrigger needs signals.balance_metric"
+            )
+        return metric_threshold_exceeded(
+            self.metric, signals.balance_metric, self.threshold
+        )
+
+
+@dataclass(frozen=True)
+class StaticIntervalTrigger:
+    """Figure 6b's static mode: fire every ``interval`` steps."""
+
+    interval: int = 50
+
+    requires_balance_metric: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise SchedulingError("interval must be >= 1")
+
+    def should_trigger(self, signals: TriggerSignals) -> bool:
+        return signals.step % self.interval == 0
+
+
+@dataclass(frozen=True)
+class LatencyTrigger:
+    """Serving trigger: SLO pressure instead of the training imbalance.
+
+    Fires when the rolling p99 request latency exceeds ``p99_target``
+    seconds, or -- earlier warning, since latency percentiles lag the
+    queue -- when the admission queue holds more than
+    ``queue_limit_tokens`` tokens. Either signal alone suffices; absent
+    signals (``None``) never fire, so a freshly started server does not
+    reshuffle placements before it has observed anything.
+
+    Args:
+        p99_target: Rolling-p99 latency bound in seconds (usually a
+            fraction of the request SLO, so scheduling reacts *before*
+            requests start missing it).
+        queue_limit_tokens: Queue-depth bound in tokens; ``None``
+            disables the queue signal.
+    """
+
+    p99_target: float
+    queue_limit_tokens: float | None = None
+
+    requires_balance_metric: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        if self.p99_target <= 0:
+            raise SchedulingError("p99_target must be > 0")
+        if self.queue_limit_tokens is not None and self.queue_limit_tokens < 0:
+            raise SchedulingError("queue_limit_tokens must be >= 0")
+
+    def should_trigger(self, signals: TriggerSignals) -> bool:
+        if signals.p99_latency is not None and (
+            signals.p99_latency > self.p99_target
+        ):
+            return True
+        return (
+            self.queue_limit_tokens is not None
+            and signals.queue_tokens is not None
+            and signals.queue_tokens > self.queue_limit_tokens
+        )
+
+
+@dataclass(frozen=True)
+class NeverTrigger:
+    """Scheduling disabled (the static-baseline systems)."""
+
+    requires_balance_metric: ClassVar[bool] = False
+
+    def should_trigger(self, signals: TriggerSignals) -> bool:
+        return False
+
+
+def trigger_from_config(config) -> Trigger:
+    """The trigger a :class:`~repro.config.SchedulerConfig` describes.
+
+    ``mode="dynamic"`` maps to :class:`ImbalanceTrigger` on the config's
+    metric/threshold; ``mode="static"`` to :class:`StaticIntervalTrigger`
+    on its interval -- i.e. exactly the predicate the Scheduler inlined
+    before the extraction.
+    """
+    if config.mode == "static":
+        return StaticIntervalTrigger(interval=config.static_interval)
+    return ImbalanceTrigger(
+        metric=config.metric, threshold=config.balance_threshold
+    )

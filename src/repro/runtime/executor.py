@@ -38,15 +38,12 @@ import numpy as np
 from repro.cluster.collectives import CollectiveCostModel
 from repro.cluster.groups import CommunicatorGroupCache, ordered_allreduce_schedule
 from repro.cluster.topology import ClusterTopology
-from repro.config import MoEModelConfig
+from repro.config import FORWARD_FRACTION, MoEModelConfig
 from repro.core.placement import Placement
 from repro.exceptions import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.events import ClusterState
-
-#: Fraction of expert FLOPs spent in the forward pass (backward ~= 2x).
-FORWARD_FRACTION = 1.0 / 3.0
 
 
 @dataclass(frozen=True)
@@ -97,6 +94,10 @@ class StepExecutor:
         seed: RNG seed for the jitter stream.
         group_cache: Optional communicator cache; when given, AllReduce
             launches pay creation overhead on cache misses.
+        inference: Play inference-shaped steps (online serving): forward
+            dispatch + combine All-to-All only (two passes), the forward
+            share of expert compute, no backward phases and no
+            replica-gradient AllReduce. Off by default.
     """
 
     def __init__(
@@ -107,6 +108,7 @@ class StepExecutor:
         seed: int = 0,
         group_cache: CommunicatorGroupCache | None = None,
         cluster_state: "ClusterState | None" = None,
+        inference: bool = False,
     ) -> None:
         if jitter < 0:
             raise SimulationError("jitter must be >= 0")
@@ -117,6 +119,7 @@ class StepExecutor:
         self._rng = np.random.default_rng(seed)
         self._group_cache = group_cache
         self._cluster_state = cluster_state
+        self._inference = inference
         self._tps = np.array(
             [d.tokens_per_second(model) for d in topology.devices]
         )
@@ -132,6 +135,11 @@ class StepExecutor:
     @property
     def group_cache(self) -> CommunicatorGroupCache | None:
         return self._group_cache
+
+    @property
+    def inference(self) -> bool:
+        """Whether this executor plays inference-shaped steps."""
+        return self._inference
 
     @property
     def cluster_state(self) -> "ClusterState | None":
@@ -197,20 +205,28 @@ class StepExecutor:
         if adjustment_blocking < 0:
             raise SimulationError("adjustment_blocking must be >= 0")
 
-        # --- All-to-All: dispatch + combine, forward + backward ---------
-        a2a_time = sum(self.real_a2a_pass_time(routes) for _ in range(4))
+        # --- All-to-All: dispatch + combine (forward + backward when
+        # training; inference skips the backward passes) -----------------
+        passes = 2 if self._inference else 4
+        a2a_time = sum(self.real_a2a_pass_time(routes) for _ in range(passes))
 
-        # --- Expert compute: forward barrier then backward barrier ------
+        # --- Expert compute: forward barrier (plus backward barrier when
+        # training) ------------------------------------------------------
         per_gpu_tokens = routes.sum(axis=(0, 1))
         busy = np.asarray(
             self._jittered(per_gpu_tokens / self._effective_tps()), dtype=float
         )
-        forward = float((busy * FORWARD_FRACTION).max())
-        backward = float((busy * (1 - FORWARD_FRACTION)).max())
-        compute_time = forward + backward
+        if self._inference:
+            busy = busy * FORWARD_FRACTION
+            compute_time = float(busy.max()) if busy.size else 0.0
+        else:
+            forward = float((busy * FORWARD_FRACTION).max())
+            backward = float((busy * (1 - FORWARD_FRACTION)).max())
+            compute_time = forward + backward
 
-        # --- Replica gradient AllReduce, deadlock-free launch order -----
-        sync_time = self._run_sync(placement)
+        # --- Replica gradient AllReduce, deadlock-free launch order
+        # (training only: serving never synchronizes gradients) ----------
+        sync_time = 0.0 if self._inference else self._run_sync(placement)
 
         return StepTiming(
             a2a_time=a2a_time,
@@ -419,6 +435,10 @@ class PipelinedStepExecutor:
         if state is not None:
             dense_tps = dense_tps * state.speed_factors()
         per_gpu = np.asarray(source_tokens, dtype=float) / dense_tps
+        if self._executor.inference:
+            # Dense figures are calibrated forward+backward too; serving
+            # runs only the forward share.
+            per_gpu = per_gpu * FORWARD_FRACTION
         return float(per_gpu.max()) if per_gpu.size else 0.0
 
     def execute(

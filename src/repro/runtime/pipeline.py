@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -61,6 +62,7 @@ from repro.core.primitives import (
 )
 from repro.core.router import FlexibleTokenRouter, RoutingPlan
 from repro.core.scheduler import Scheduler, SchedulingOutcome
+from repro.core.trigger import Trigger
 from repro.exceptions import PlacementError, SimulationError
 from repro.runtime.adjustment import AdjustmentQueue
 from repro.runtime.executor import (
@@ -86,6 +88,14 @@ class LayerPipeline:
         cluster_state: Live device-pool view shared with the executor;
             attaches to the layer's cost model so scheduling prices
             against the current pool. ``None`` keeps the pool static.
+        trigger: When-to-schedule predicate handed to the layer's
+            Scheduler; ``None`` derives the paper's trigger from the
+            config. Serving runs pass a
+            :class:`~repro.core.trigger.LatencyTrigger`.
+        inference: Price this layer's scheduling against inference-shaped
+            steps (forward-only compute, two A2A passes, no gradient
+            sync) and skip sync-communicator creation costs. Matches the
+            executor's step shape in serving runs.
     """
 
     def __init__(
@@ -98,6 +108,8 @@ class LayerPipeline:
         group_cache: CommunicatorGroupCache | None = None,
         layer_index: int = 0,
         cluster_state: ClusterState | None = None,
+        trigger: Trigger | None = None,
+        inference: bool = False,
     ) -> None:
         config = scheduler_config or SchedulerConfig()
         # Explicit slot counts are respected as configured.
@@ -113,8 +125,11 @@ class LayerPipeline:
         self._config = config
         self._layer_index = layer_index
         self._cluster_state = cluster_state
+        self._inference = inference
         self._router = FlexibleTokenRouter()
-        self._cost_model = MoECostModel(profile, model, cluster_state=cluster_state)
+        self._cost_model = MoECostModel(
+            profile, model, cluster_state=cluster_state, inference=inference
+        )
         # Target placement: what the scheduler plans toward. Active
         # placement: what routing/execution actually use; commits lag by
         # the best-effort stream's budget.
@@ -127,7 +142,9 @@ class LayerPipeline:
             min_replicas=config.min_replicas,
             use_delta=config.delta_evaluation,
         )
-        self._scheduler = Scheduler(self._target, policy, config, topology)
+        self._scheduler = Scheduler(
+            self._target, policy, config, topology, trigger=trigger
+        )
         self._queue = AdjustmentQueue(model, collectives)
         # Each entry: [remaining_stream_seconds, actions_tuple]
         self._pending: deque[list] = deque()
@@ -197,9 +214,10 @@ class LayerPipeline:
 
         Creations are independent handshakes issued from the background
         thread pool, so concurrent creations cost the slowest one, not the
-        sum.
+        sum. Inference runs never synchronize gradients, so replica
+        groups need no communicators and creation is free.
         """
-        if self._group_cache is None:
+        if self._group_cache is None or self._inference:
             return 0.0
         cost = 0.0
         for group in self._target.replica_groups().values():
@@ -518,6 +536,11 @@ class MultiLayerFlexMoEEngine:
             the start of each step, evicts/re-homes experts off failed
             devices, refills recovered ones, and re-shards dead devices'
             token batches over the survivors.
+        trigger_factory: Builds one fresh
+            :class:`~repro.core.trigger.Trigger` per layer, replacing the
+            config-derived trigger in every layer's Scheduler. The online
+            serving driver passes ``lambda: LatencyTrigger(...)`` here so
+            scheduling fires on SLO pressure (see ``docs/serving.md``).
     """
 
     name = "FlexMoE-pipelined"
@@ -532,6 +555,7 @@ class MultiLayerFlexMoEEngine:
         overlap_efficiency: float = 1.0,
         model_dense_compute: bool = True,
         elasticity: ElasticitySchedule | None = None,
+        trigger_factory: Callable[[], Trigger] | None = None,
     ) -> None:
         self._executor = executor
         self._profile = profile
@@ -561,6 +585,8 @@ class MultiLayerFlexMoEEngine:
                 group_cache=executor.group_cache,
                 layer_index=index,
                 cluster_state=state,
+                trigger=trigger_factory() if trigger_factory is not None else None,
+                inference=executor.inference,
             )
             for index in range(self._pipe.num_moe_layers)
         ]
@@ -626,6 +652,23 @@ class MultiLayerFlexMoEEngine:
         """Elasticity events applied so far, as ``(step, event)`` pairs."""
         return tuple(self._event_log)
 
+    def observe_serving_signals(
+        self,
+        p99_latency: float | None = None,
+        queue_tokens: float | None = None,
+    ) -> None:
+        """Push the latest serving signals to every layer's Scheduler.
+
+        The serving engine calls this before each batch so the layers'
+        :class:`~repro.core.trigger.LatencyTrigger` instances see the
+        current rolling p99 latency and admission-queue depth. Training
+        runs never call it.
+        """
+        for layer in self._layers:
+            layer.scheduler.observe_serving_signals(
+                p99_latency=p99_latency, queue_tokens=queue_tokens
+            )
+
     # ------------------------------------------------------------------
     # Elasticity
     # ------------------------------------------------------------------
@@ -663,13 +706,24 @@ class MultiLayerFlexMoEEngine:
     # ------------------------------------------------------------------
     # Step
     # ------------------------------------------------------------------
-    def step(self, assignments: np.ndarray, step_index: int) -> PipelineStepResult:
+    def step(
+        self,
+        assignments: np.ndarray,
+        step_index: int,
+        scheduling_assignments: np.ndarray | None = None,
+    ) -> PipelineStepResult:
         """Process one training step's gate assignments for all layers.
 
         Args:
             assignments: Integer tensor ``(layers, experts, gpus)`` — one
                 gate assignment matrix ``I`` per MoE layer.
             step_index: Monotone step counter (drives static triggers).
+            scheduling_assignments: Optional separate view the schedulers
+                observe instead of ``assignments`` (same shape; floats
+                allowed). Execution always uses ``assignments``. The
+                serving engine passes a smoothed popularity estimate here
+                so placement chases the demand *trend*, not one
+                micro-batch's sampling noise.
         """
         assignments = np.asarray(assignments)
         if assignments.ndim != 3 or assignments.shape[0] != len(self._layers):
@@ -677,6 +731,13 @@ class MultiLayerFlexMoEEngine:
                 f"assignments must be ({len(self._layers)}, experts, gpus); "
                 f"got {assignments.shape}"
             )
+        if scheduling_assignments is not None:
+            scheduling_assignments = np.asarray(scheduling_assignments)
+            if scheduling_assignments.shape != assignments.shape:
+                raise SimulationError(
+                    "scheduling_assignments must match assignments' shape "
+                    f"{assignments.shape}; got {scheduling_assignments.shape}"
+                )
 
         # Phase 0 — elasticity: apply due events and re-shard the batches
         # of dead devices over the survivors.
@@ -689,13 +750,26 @@ class MultiLayerFlexMoEEngine:
                 assignments = np.stack(
                     [redistribute_assignment(a, live) for a in assignments]
                 )
+                if scheduling_assignments is not None:
+                    scheduling_assignments = np.stack(
+                        [
+                            redistribute_assignment(a, live)
+                            for a in scheduling_assignments
+                        ]
+                    )
 
         # Phase 1 — every layer's scheduler observes its own assignment
-        # and emits actions into its best-effort stream.
+        # (or the caller's smoothed scheduling view) and emits actions
+        # into its best-effort stream.
+        observed = (
+            assignments
+            if scheduling_assignments is None
+            else scheduling_assignments
+        )
         blocking = self._pending_event_blocking
         self._pending_event_blocking = 0.0
         outcomes = []
-        for layer, assignment in zip(self._layers, assignments):
+        for layer, assignment in zip(self._layers, observed):
             layer_blocking, outcome = layer.begin_step(assignment, step_index)
             blocking += layer_blocking
             outcomes.append(outcome)
@@ -751,6 +825,8 @@ def build_engine(
     profile_noise: float = 0.02,
     jitter: float = 0.02,
     elasticity: ElasticitySchedule | None = None,
+    trigger_factory: Callable[[], Trigger] | None = None,
+    inference: bool = False,
 ) -> MultiLayerFlexMoEEngine:
     """Construct a multi-layer engine with a fresh simulated substrate.
 
@@ -772,6 +848,7 @@ def build_engine(
         cluster_state=(
             ClusterState(cluster.num_gpus) if elasticity is not None else None
         ),
+        inference=inference,
     )
     if scheduler_config is None and (
         elasticity is not None or cluster.compute_scales is not None
@@ -789,4 +866,5 @@ def build_engine(
         overlap_efficiency=overlap_efficiency,
         model_dense_compute=model_dense_compute,
         elasticity=elasticity,
+        trigger_factory=trigger_factory,
     )

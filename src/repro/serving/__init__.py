@@ -1,0 +1,57 @@
+"""Online serving: SLO-aware request streams over dynamic placement.
+
+The training side of this repository replays offline routing traces;
+this package serves a *live* request stream against the same placement
+core and asks the serving question: latency percentiles and goodput
+under an SLO, not steps/second.
+
+* :mod:`repro.serving.requests` -- seeded request streams
+  (Poisson/bursty/diurnal arrival, lognormal token counts, drifting
+  topic mixes that shift expert popularity);
+* :mod:`repro.serving.admission` -- the front-end: FIFO continuous
+  micro-batching under a token budget, queue backpressure;
+* :mod:`repro.serving.slo` -- per-request latency accounting
+  (queue + execute), rolling-p99 windows, goodput and SLO attainment;
+* :mod:`repro.serving.engine` -- the discrete-event serving loop over
+  :class:`~repro.runtime.pipeline.MultiLayerFlexMoEEngine`, with the
+  topic-to-expert routing model;
+* :mod:`repro.serving.baseline` -- the dynamic-vs-static server pair
+  (``LatencyTrigger`` vs ``NeverTrigger``).
+
+The FlexMoE-vs-Static comparison harness lives in
+:mod:`repro.bench.serving` (``python -m repro serve``,
+``BENCH_serving_latency.json``); see ``docs/serving.md`` for the model
+and report format.
+"""
+
+from repro.serving.admission import AdmissionQueue, BatchingConfig
+from repro.serving.baseline import (
+    StaticServing,
+    build_flexmoe_serving,
+    build_static_serving,
+)
+from repro.serving.engine import ServingEngine, TopicRoutingModel
+from repro.serving.requests import Request, RequestStream, RequestStreamConfig
+from repro.serving.slo import (
+    LatencyWindow,
+    RequestRecord,
+    ServingReport,
+    SLOConfig,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BatchingConfig",
+    "LatencyWindow",
+    "Request",
+    "RequestRecord",
+    "RequestStream",
+    "RequestStreamConfig",
+    "SLOConfig",
+    "ServingEngine",
+    "ServingReport",
+    "StaticServing",
+    "TopicRoutingModel",
+    "build_flexmoe_serving",
+    "build_static_serving",
+]

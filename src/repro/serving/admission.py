@@ -1,0 +1,128 @@
+"""Admission control and continuous micro-batching.
+
+The serving front-end sits between the request stream and the engine: it
+queues arrivals in FIFO order, forms micro-batches bounded by a token
+budget (``max_batch_tokens``), and applies backpressure -- when the queue
+already holds more than ``max_queue_tokens`` tokens, new arrivals are
+rejected rather than queued, bounding worst-case latency the way a real
+serving tier sheds load instead of letting its queue grow without limit.
+
+Rejections are an SLO event: the report counts every rejected request as
+a missed SLO when computing goodput (:mod:`repro.serving.slo`), and the
+queue's token depth is one of the two signals the
+:class:`~repro.core.trigger.LatencyTrigger` fires on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.serving.requests import Request
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Front-end knobs.
+
+    Attributes:
+        max_batch_tokens: Token budget of one micro-batch; the batcher
+            pops FIFO requests until adding the next one would exceed it
+            (a single oversized request still forms its own batch --
+            requests are never split or dropped once admitted).
+        max_queue_tokens: Backpressure bound on queued tokens; arrivals
+            that would push the queue past it are rejected. ``None``
+            disables rejection (unbounded queue).
+    """
+
+    max_batch_tokens: int = 4096
+    max_queue_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_tokens < 1:
+            raise ConfigurationError("max_batch_tokens must be >= 1")
+        if self.max_queue_tokens is not None and self.max_queue_tokens < 1:
+            raise ConfigurationError("max_queue_tokens must be >= 1")
+
+    def replace(self, **changes: object) -> "BatchingConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+class AdmissionQueue:
+    """FIFO request queue with token-depth backpressure.
+
+    Args:
+        config: Batch and backpressure bounds.
+    """
+
+    def __init__(self, config: BatchingConfig) -> None:
+        self._config = config
+        self._queue: deque[Request] = deque()
+        self._queued_tokens = 0
+        self._rejected = 0
+
+    @property
+    def config(self) -> BatchingConfig:
+        return self._config
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued_tokens(self) -> int:
+        """Tokens currently waiting (the backpressure/trigger signal)."""
+        return self._queued_tokens
+
+    @property
+    def rejected_requests(self) -> int:
+        """Arrivals turned away by backpressure so far."""
+        return self._rejected
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def offer(self, request: Request) -> bool:
+        """Admit ``request``; returns ``False`` when backpressure rejects it.
+
+        An empty queue always admits, even an oversized request --
+        rejection exists to bound *queueing*, not request size.
+        """
+        limit = self._config.max_queue_tokens
+        if (
+            limit is not None
+            and self._queue
+            and self._queued_tokens + request.tokens > limit
+        ):
+            self._rejected += 1
+            return False
+        self._queue.append(request)
+        self._queued_tokens += request.tokens
+        return True
+
+    def next_batch(self) -> tuple[Request, ...]:
+        """Pop the next micro-batch (FIFO, bounded by ``max_batch_tokens``).
+
+        Always returns at least one request when the queue is non-empty;
+        returns the empty tuple otherwise.
+        """
+        batch: list[Request] = []
+        tokens = 0
+        budget = self._config.max_batch_tokens
+        while self._queue:
+            head = self._queue[0]
+            if batch and tokens + head.tokens > budget:
+                break
+            batch.append(self._queue.popleft())
+            tokens += head.tokens
+        self._queued_tokens -= tokens
+        return tuple(batch)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionQueue(requests={len(self._queue)}, "
+            f"tokens={self._queued_tokens}, rejected={self._rejected})"
+        )

@@ -1,0 +1,132 @@
+"""Serving-engine builders: dynamic FlexMoE vs the static baseline.
+
+Two servers over the identical substrate, stream and front-end:
+
+* :func:`build_flexmoe_serving` -- the dynamic server: every layer's
+  Scheduler carries a :class:`~repro.core.trigger.LatencyTrigger` derived
+  from the SLO, so p99/queue-depth pressure starts Policy Maker rounds
+  and the background Migrate pass keeps consolidating replicas.
+* :func:`build_static_serving` -- :class:`StaticServing`: the placement
+  frozen at the balanced initial layout
+  (:class:`~repro.core.trigger.NeverTrigger`, Migrate off). Forced
+  eviction still happens under device failures -- routing to a dead
+  device is never valid -- but nothing rebalances afterwards, exactly
+  like the training faults baseline.
+
+Both builders delegate to
+:func:`repro.runtime.pipeline.build_engine`, so a shared seed gives both
+servers the same profiled figures and jitter stream; they differ only in
+whether dynamic placement is allowed to react.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.events import ElasticitySchedule
+from repro.config import (
+    ClusterConfig,
+    MoEModelConfig,
+    SchedulerConfig,
+    auto_slots_per_gpu,
+)
+from repro.core.trigger import LatencyTrigger, NeverTrigger
+from repro.runtime.pipeline import build_engine
+from repro.serving.admission import BatchingConfig
+from repro.serving.engine import ServingEngine, TopicRoutingModel
+from repro.serving.requests import Request
+from repro.serving.slo import SLOConfig
+
+
+class StaticServing(ServingEngine):
+    """The never-rebalancing baseline server (identical front-end)."""
+
+    name = "StaticServing"
+
+
+def serving_scheduler_config(
+    model: MoEModelConfig,
+    cluster: ClusterConfig,
+    elasticity: ElasticitySchedule | None,
+    migrate: bool,
+) -> SchedulerConfig:
+    """Shared scheduler shape of both servers.
+
+    Elastic runs keep the training faults harness's conventions: a
+    replication floor of 2 (a single failure never destroys an expert's
+    only copy) and two slack slots per GPU so the Expand/Shrink loop has
+    room to move above the pinned floor.
+    """
+    elastic = elasticity is not None
+    slots = auto_slots_per_gpu(model.num_experts, cluster.num_gpus)
+    return SchedulerConfig(
+        migrate=migrate,
+        speed_aware_balance=elastic,
+        min_replicas=2 if elastic else 1,
+        slots_per_gpu=slots + 2 if elastic else slots,
+    )
+
+
+def build_flexmoe_serving(
+    cluster: ClusterConfig,
+    model: MoEModelConfig,
+    requests: Sequence[Request],
+    batching: BatchingConfig,
+    slo: SLOConfig,
+    num_moe_layers: int | None = None,
+    routing: TopicRoutingModel | None = None,
+    elasticity: ElasticitySchedule | None = None,
+    skew: float = 1.3,
+    seed: int = 0,
+) -> ServingEngine:
+    """The dynamic server: SLO-triggered placement over the live pool."""
+    engine = build_engine(
+        cluster,
+        model,
+        num_moe_layers=num_moe_layers,
+        scheduler_config=serving_scheduler_config(
+            model, cluster, elasticity, migrate=True
+        ),
+        elasticity=elasticity,
+        seed=seed,
+        trigger_factory=lambda: LatencyTrigger(
+            p99_target=slo.effective_trigger_p99,
+            queue_limit_tokens=slo.queue_limit_tokens,
+        ),
+        inference=True,
+    )
+    engine.name = "FlexMoE-serving"
+    return ServingEngine(
+        engine, requests, batching, slo, routing=routing, skew=skew, seed=seed
+    )
+
+
+def build_static_serving(
+    cluster: ClusterConfig,
+    model: MoEModelConfig,
+    requests: Sequence[Request],
+    batching: BatchingConfig,
+    slo: SLOConfig,
+    num_moe_layers: int | None = None,
+    routing: TopicRoutingModel | None = None,
+    elasticity: ElasticitySchedule | None = None,
+    skew: float = 1.3,
+    seed: int = 0,
+) -> StaticServing:
+    """The frozen-placement baseline on the identical substrate."""
+    engine = build_engine(
+        cluster,
+        model,
+        num_moe_layers=num_moe_layers,
+        scheduler_config=serving_scheduler_config(
+            model, cluster, elasticity, migrate=False
+        ),
+        elasticity=elasticity,
+        seed=seed,
+        trigger_factory=NeverTrigger,
+        inference=True,
+    )
+    engine.name = "StaticServing"
+    return StaticServing(
+        engine, requests, batching, slo, routing=routing, skew=skew, seed=seed
+    )

@@ -1,0 +1,339 @@
+"""The online serving engine: discrete-event micro-batch execution.
+
+:class:`ServingEngine` closes the loop the ROADMAP's north star asks for:
+live, bursty request arrival driving the dynamic-placement core. It is a
+discrete-event simulation over one simulated clock:
+
+1. **Admit** -- requests whose arrival time has passed enter the
+   admission queue (or are rejected by backpressure).
+2. **Batch** -- the front-end pops the next FIFO micro-batch under the
+   ``max_batch_tokens`` budget.
+3. **Schedule** -- the engine pushes the rolling p99 latency and queue
+   depth to every layer's Scheduler
+   (:meth:`~repro.runtime.pipeline.MultiLayerFlexMoEEngine.observe_serving_signals`);
+   layers whose :class:`~repro.core.trigger.LatencyTrigger` fires run the
+   ordinary Policy Maker / Migrate round -- the same code path training
+   uses, triggered by SLO pressure instead of the imbalance ratio.
+4. **Execute** -- the batch's per-layer gate assignments (derived from
+   its topic composition by :class:`TopicRoutingModel`) route over the
+   active placements and play through the pipelined executor; the clock
+   advances by the modelled step time, and every request in the batch
+   records ``queue_time`` (arrival to dispatch) plus ``execute_time``.
+
+Elasticity composes for free: the wrapped
+:class:`~repro.runtime.pipeline.MultiLayerFlexMoEEngine` applies its
+event schedule keyed by *batch index*, so device failures and recoveries
+land mid-stream and serving continues on the surviving pool
+(``examples/online_serving.py`` demonstrates this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.runtime.pipeline import MultiLayerFlexMoEEngine
+from repro.serving.admission import AdmissionQueue, BatchingConfig
+from repro.serving.requests import Request
+from repro.serving.slo import (
+    LatencyWindow,
+    RequestRecord,
+    ServingReport,
+    SLOConfig,
+)
+from repro.workload.synthetic import LAYER_SEED_STRIDE, stationary_skewed_probs
+
+
+class TopicRoutingModel:
+    """Maps a batch's topic composition to per-layer expert popularity.
+
+    Every (layer, topic) pair owns a Zipf-skewed expert profile with its
+    own random rank permutation, so which experts run hot depends on the
+    live topic mix and is uncorrelated across layers -- the serving
+    analogue of the training workload's per-layer popularity
+    permutations. As the stream's topic mix drifts, the blended expert
+    distribution drifts with it, which is exactly the non-stationarity
+    dynamic placement exists to absorb.
+
+    Args:
+        num_layers: MoE layers of the served model.
+        num_experts: Experts per layer.
+        num_topics: Topic vocabulary size of the request stream.
+        skew: Zipf exponent of each topic's expert profile (~1.3 matches
+            the paper's observed skew).
+        seed: Base seed; profiles are a pure function of
+            ``(seed, layer, topic)``.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_experts: int,
+        num_topics: int,
+        skew: float = 1.3,
+        seed: int = 0,
+    ) -> None:
+        if num_layers < 1:
+            raise ConfigurationError("num_layers must be >= 1")
+        if num_topics < 1:
+            raise ConfigurationError("num_topics must be >= 1")
+        profiles = np.empty((num_layers, num_topics, num_experts))
+        for layer in range(num_layers):
+            for topic in range(num_topics):
+                rng = np.random.default_rng(
+                    seed + layer * LAYER_SEED_STRIDE + topic
+                )
+                profiles[layer, topic] = stationary_skewed_probs(
+                    num_experts, skew, rng
+                )
+        self._profiles = profiles
+        self._profiles.setflags(write=False)
+
+    @property
+    def num_layers(self) -> int:
+        return self._profiles.shape[0]
+
+    @property
+    def num_topics(self) -> int:
+        return self._profiles.shape[1]
+
+    @property
+    def num_experts(self) -> int:
+        return self._profiles.shape[2]
+
+    def topic_profile(self, layer: int, topic: int) -> np.ndarray:
+        """Expert-popularity vector of one (layer, topic) pair."""
+        return self._profiles[layer, topic]
+
+    def batch_probs(self, layer: int, batch: Sequence[Request]) -> np.ndarray:
+        """Token-weighted expert distribution of ``batch`` at ``layer``."""
+        if not batch:
+            raise SimulationError("batch must not be empty")
+        tokens = np.array([r.tokens for r in batch], dtype=float)
+        topics = [r.topic % self.num_topics for r in batch]
+        mixed = tokens @ self._profiles[layer, topics]
+        return mixed / mixed.sum()
+
+
+class ServingEngine:
+    """SLO-aware online serving over the multi-layer placement engine.
+
+    Args:
+        engine: The placement/execution engine. Build it with a
+            ``trigger_factory`` producing
+            :class:`~repro.core.trigger.LatencyTrigger` instances for the
+            dynamic server (see :mod:`repro.serving.baseline` for the
+            canonical builders) or ``NeverTrigger`` for the static one.
+        requests: The request stream to serve (any order; sorted by
+            arrival internally).
+        batching: Front-end micro-batching and backpressure bounds.
+        slo: Latency objective and trigger thresholds.
+        routing: Topic-to-expert model; ``None`` builds one from the
+            engine's shape and the requests' topic range.
+        skew: Zipf exponent for a default-built routing model.
+        seed: Seed of the multinomial token-scatter RNG (gate sampling).
+        popularity_smoothing: EWMA factor in ``(0, 1]`` for the demand
+            estimate the schedulers observe: each batch contributes this
+            fraction, the running estimate the rest. A micro-batch is a
+            small sample of the live distribution, so scheduling on the
+            raw batch chases sampling noise; ``1.0`` disables smoothing
+            (schedulers see the raw batch, training-style).
+    """
+
+    name = "FlexMoE-serving"
+
+    def __init__(
+        self,
+        engine: MultiLayerFlexMoEEngine,
+        requests: Sequence[Request],
+        batching: BatchingConfig,
+        slo: SLOConfig,
+        routing: TopicRoutingModel | None = None,
+        skew: float = 1.3,
+        seed: int = 0,
+        popularity_smoothing: float = 0.3,
+    ) -> None:
+        if not 0 < popularity_smoothing <= 1:
+            raise ConfigurationError(
+                "popularity_smoothing must be in (0, 1]"
+            )
+        if not requests:
+            raise ConfigurationError("requests must not be empty")
+        self._engine = engine
+        executor = engine.pipelined_executor.executor
+        self._num_gpus = executor.topology.num_gpus
+        if routing is None:
+            num_topics = max(r.topic for r in requests) + 1
+            routing = TopicRoutingModel(
+                engine.num_moe_layers,
+                executor.model.num_experts,
+                num_topics,
+                skew=skew,
+                seed=seed,
+            )
+        if routing.num_layers != engine.num_moe_layers:
+            raise ConfigurationError(
+                f"routing model covers {routing.num_layers} layers but the "
+                f"engine has {engine.num_moe_layers}"
+            )
+        self._routing = routing
+        self._requests = tuple(sorted(requests, key=lambda r: (r.arrival, r.index)))
+        self._batching = batching
+        self._slo = slo
+        self._rng = np.random.default_rng(seed)
+        self._smoothing = popularity_smoothing
+        self._demand_estimate: np.ndarray | None = None
+        self._report: ServingReport | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> MultiLayerFlexMoEEngine:
+        return self._engine
+
+    @property
+    def routing(self) -> TopicRoutingModel:
+        return self._routing
+
+    @property
+    def slo(self) -> SLOConfig:
+        return self._slo
+
+    @property
+    def report(self) -> ServingReport | None:
+        """The last :meth:`run` outcome (``None`` before any run)."""
+        return self._report
+
+    # ------------------------------------------------------------------
+    # Batch-to-assignment translation
+    # ------------------------------------------------------------------
+    def _batch_assignments(self, batch: Sequence[Request]) -> np.ndarray:
+        """Per-layer gate assignments ``(layers, experts, gpus)`` of a batch.
+
+        The batch's tokens shard evenly over the source GPUs (the serving
+        tier's data-parallel entry points); each shard routes its tokens
+        multinomially by the batch's blended expert distribution, layer
+        by layer. Dead devices' shards are re-sharded by the wrapped
+        engine exactly as in training.
+        """
+        total = sum(r.tokens for r in batch)
+        per_gpu = total // self._num_gpus
+        remainder = total - per_gpu * self._num_gpus
+        layers = []
+        for layer in range(self._engine.num_moe_layers):
+            probs = self._routing.batch_probs(layer, batch)
+            assignment = np.zeros(
+                (self._routing.num_experts, self._num_gpus), dtype=np.int64
+            )
+            for gpu in range(self._num_gpus):
+                count = per_gpu + (1 if gpu < remainder else 0)
+                if count:
+                    assignment[:, gpu] = self._rng.multinomial(count, probs)
+            layers.append(assignment)
+        return np.stack(layers)
+
+    def _update_demand(self, assignments: np.ndarray) -> np.ndarray:
+        """Fold one batch into the smoothed demand estimate.
+
+        Returns the per-layer scheduling view (float tensor of the same
+        shape as the batch assignments). Batches vary in size, so each
+        batch is normalized to a full-batch token scale before blending
+        -- the estimate tracks the *distribution*, not the batch size.
+        """
+        batch = np.asarray(assignments, dtype=float)
+        total = batch.sum(axis=(1, 2), keepdims=True)
+        scale = np.where(total > 0, self._batching.max_batch_tokens / total, 1.0)
+        batch = batch * scale
+        if self._demand_estimate is None or self._smoothing == 1.0:
+            self._demand_estimate = batch
+        else:
+            self._demand_estimate = (
+                self._smoothing * batch
+                + (1.0 - self._smoothing) * self._demand_estimate
+            )
+        return self._demand_estimate
+
+    # ------------------------------------------------------------------
+    # The discrete-event loop
+    # ------------------------------------------------------------------
+    def _warm_up(self) -> None:
+        """Pre-create the initial placements' replica-group communicators.
+
+        Only relevant when serving over a *training-shaped* engine (whose
+        steps AllReduce replica gradients): there, a long-running server
+        performs these one-time handshakes before accepting traffic, and
+        without the warm-up the very first batch would absorb hundreds of
+        milliseconds of group creation and shed the opening burst.
+        Inference-shaped engines (the shipped builders) never synchronize
+        gradients, so there is nothing to warm.
+        """
+        executor = self._engine.pipelined_executor.executor
+        cache = executor.group_cache
+        if cache is None or executor.inference:
+            return
+        for placement in self._engine.placements():
+            for group in placement.replica_groups().values():
+                if len(group) > 1:
+                    cache.acquire(group)
+
+    def run(self) -> ServingReport:
+        """Serve the whole stream and return the latency/goodput report."""
+        self._warm_up()
+        queue = AdmissionQueue(self._batching)
+        window = LatencyWindow(self._slo.window)
+        pending = deque(self._requests)
+        records: list[RequestRecord] = []
+        rejected: list[Request] = []
+        clock = 0.0
+        batches = 0
+        actions = 0
+
+        while pending or queue.queued_requests:
+            while pending and pending[0].arrival <= clock:
+                request = pending.popleft()
+                if not queue.offer(request):
+                    rejected.append(request)
+            if not queue.queued_requests:
+                # Idle: jump the clock to the next arrival.
+                clock = max(clock, pending[0].arrival)
+                continue
+
+            batch = queue.next_batch()
+            self._engine.observe_serving_signals(
+                p99_latency=window.p99(),
+                queue_tokens=float(queue.queued_tokens),
+            )
+            assignments = self._batch_assignments(batch)
+            result = self._engine.step(
+                assignments,
+                batches,
+                scheduling_assignments=self._update_demand(assignments),
+            )
+            execute = result.step_time
+            for request in batch:
+                record = RequestRecord(
+                    request=request,
+                    start=clock,
+                    queue_time=clock - request.arrival,
+                    execute_time=execute,
+                )
+                records.append(record)
+                window.observe(record.latency)
+            actions += result.scheduling_actions
+            clock += execute
+            batches += 1
+
+        self._report = ServingReport(
+            engine=type(self).name,
+            records=tuple(records),
+            rejected=tuple(rejected),
+            slo=self._slo,
+            num_batches=batches,
+            sim_duration=clock,
+            placement_actions=actions,
+        )
+        return self._report

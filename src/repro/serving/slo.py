@@ -1,0 +1,251 @@
+"""Serving objectives: per-request latency accounting, SLOs and goodput.
+
+Training optimizes steps/second; serving optimizes *latency percentiles
+under an SLO*. This module holds the accounting:
+
+* :class:`RequestRecord` -- one served request's latency split into its
+  queue wait (arrival to batch dispatch) and execute time (the modelled
+  duration of the batch it rode);
+* :class:`LatencyWindow` -- the rolling window of recent latencies whose
+  p99 feeds the :class:`~repro.core.trigger.LatencyTrigger`;
+* :class:`SLOConfig` -- the per-request latency target plus the (earlier,
+  tighter) trigger thresholds the placement driver reacts on;
+* :class:`ServingReport` -- the run outcome: p50/p95/p99 latencies,
+  goodput (tokens per second served *within* the SLO) and SLO attainment
+  with rejected requests counted as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.serving.requests import Request
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Latency objective and the trigger thresholds derived from it.
+
+    Attributes:
+        latency_target: Per-request SLO in simulated seconds: a request
+            whose total latency (queue + execute) exceeds it is an SLO
+            miss.
+        trigger_p99: Rolling-p99 threshold that fires a scheduling round;
+            ``None`` defaults to ``0.6 * latency_target`` so placement
+            reacts *before* requests actually miss the SLO.
+        queue_limit_tokens: Queue-depth trigger threshold in tokens;
+            ``None`` disables the queue signal.
+        window: Number of recent request latencies in the rolling-p99
+            window.
+    """
+
+    latency_target: float
+    trigger_p99: float | None = None
+    queue_limit_tokens: float | None = None
+    window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.latency_target <= 0:
+            raise ConfigurationError("latency_target must be > 0")
+        if self.trigger_p99 is not None and self.trigger_p99 <= 0:
+            raise ConfigurationError("trigger_p99 must be > 0")
+        if self.queue_limit_tokens is not None and self.queue_limit_tokens < 0:
+            raise ConfigurationError("queue_limit_tokens must be >= 0")
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+
+    @property
+    def effective_trigger_p99(self) -> float:
+        """The p99 threshold the placement driver actually uses."""
+        if self.trigger_p99 is not None:
+            return self.trigger_p99
+        return 0.6 * self.latency_target
+
+    def replace(self, **changes: object) -> "SLOConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One served request with its latency decomposition.
+
+    Attributes:
+        request: The request served.
+        start: Simulated time its micro-batch dispatched.
+        queue_time: Seconds between arrival and dispatch.
+        execute_time: Modelled duration of the batch it rode (every
+            request in a micro-batch completes when the batch does).
+    """
+
+    request: Request
+    start: float
+    queue_time: float
+    execute_time: float
+
+    def __post_init__(self) -> None:
+        if self.queue_time < 0:
+            raise ConfigurationError("queue_time must be >= 0")
+        if self.execute_time < 0:
+            raise ConfigurationError("execute_time must be >= 0")
+
+    @property
+    def latency(self) -> float:
+        """Total request latency: queue wait plus execute time."""
+        return self.queue_time + self.execute_time
+
+    @property
+    def finish(self) -> float:
+        return self.start + self.execute_time
+
+
+class LatencyWindow:
+    """Rolling window of recent request latencies (the trigger's p99)."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self._values: deque[float] = deque(maxlen=window)
+
+    def observe(self, latency: float) -> None:
+        self._values.append(float(latency))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def p99(self) -> float | None:
+        """Rolling p99, or ``None`` before any request completed."""
+        if not self._values:
+            return None
+        return float(np.percentile(np.fromiter(self._values, float), 99.0))
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of one serving run.
+
+    Attributes:
+        engine: Serving-engine name (``FlexMoE-serving`` /
+            ``StaticServing``).
+        records: Served requests in completion order.
+        rejected: Requests turned away by admission backpressure.
+        slo: The objective the run was measured against.
+        num_batches: Micro-batches executed.
+        sim_duration: Simulated seconds from start to the last batch's
+            completion.
+        placement_actions: Placement actions committed by the engine
+            over the run (0 for the static baseline).
+    """
+
+    engine: str
+    records: tuple[RequestRecord, ...]
+    rejected: tuple[Request, ...]
+    slo: SLOConfig
+    num_batches: int
+    sim_duration: float
+    placement_actions: int = 0
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency for r in self.records])
+
+    @property
+    def queue_times(self) -> np.ndarray:
+        return np.array([r.queue_time for r in self.records])
+
+    @property
+    def execute_times(self) -> np.ndarray:
+        return np.array([r.execute_time for r in self.records])
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.records:
+            return float("inf")
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99.0)
+
+    # ------------------------------------------------------------------
+    # Goodput / SLO attainment
+    # ------------------------------------------------------------------
+    @property
+    def served_tokens(self) -> int:
+        return sum(r.request.tokens for r in self.records)
+
+    @property
+    def offered_tokens(self) -> int:
+        """Tokens offered to the server (served plus rejected)."""
+        return self.served_tokens + sum(r.tokens for r in self.rejected)
+
+    @property
+    def offered_requests(self) -> int:
+        return len(self.records) + len(self.rejected)
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Tokens per simulated second served *within* the SLO.
+
+        Rejected requests and SLO misses contribute nothing: goodput is
+        the useful work rate, not the raw throughput.
+        """
+        if self.sim_duration <= 0:
+            return 0.0
+        good = sum(
+            r.request.tokens
+            for r in self.records
+            if r.latency <= self.slo.latency_target
+        )
+        return good / self.sim_duration
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *offered* requests finishing within the SLO.
+
+        Rejections count as misses -- shedding a request does not excuse
+        it from the objective.
+        """
+        offered = self.offered_requests
+        if offered == 0:
+            return 1.0
+        good = sum(
+            1 for r in self.records if r.latency <= self.slo.latency_target
+        )
+        return good / offered
+
+    def summary(self) -> dict[str, float]:
+        """Flat aggregate view (the JSON report's per-engine section)."""
+        return {
+            "requests_served": float(len(self.records)),
+            "requests_rejected": float(len(self.rejected)),
+            "num_batches": float(self.num_batches),
+            "sim_duration_s": float(self.sim_duration),
+            "p50_latency_s": self.p50,
+            "p95_latency_s": self.p95,
+            "p99_latency_s": self.p99,
+            "mean_queue_s": (
+                float(self.queue_times.mean()) if self.records else 0.0
+            ),
+            "mean_execute_s": (
+                float(self.execute_times.mean()) if self.records else 0.0
+            ),
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "slo_attainment": self.slo_attainment,
+            "placement_actions": float(self.placement_actions),
+        }

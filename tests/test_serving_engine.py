@@ -1,0 +1,257 @@
+"""The serving engine: latency accounting, determinism, SLO machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import cluster_for
+from repro.config import FaultConfig, MoEModelConfig
+from repro.cluster.events import ElasticitySchedule
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    BatchingConfig,
+    Request,
+    RequestStream,
+    RequestStreamConfig,
+    SLOConfig,
+    ServingReport,
+    TopicRoutingModel,
+    build_flexmoe_serving,
+    build_static_serving,
+)
+from repro.serving.slo import LatencyWindow, RequestRecord
+
+
+def small_model(num_moe_layers=2, num_experts=8):
+    return MoEModelConfig(
+        name="serving-test",
+        num_layers=2 * num_moe_layers,
+        d_model=256,
+        d_ffn=1024,
+        num_experts=num_experts,
+    )
+
+
+def small_stream(num_requests=60, seed=0, **overrides):
+    base = dict(
+        arrival="bursty",
+        rate_rps=20_000.0,
+        num_requests=num_requests,
+        mean_tokens=256,
+        max_tokens=2048,
+        num_topics=3,
+        topic_drift=0.4,
+        seed=seed,
+    )
+    base.update(overrides)
+    return RequestStream(RequestStreamConfig(**base)).generate()
+
+
+def build_pair(requests, seed=0, faults=None, num_moe_layers=2, num_experts=8):
+    cluster = cluster_for(4)
+    model = small_model(num_moe_layers, num_experts)
+    batching = BatchingConfig(max_batch_tokens=2048, max_queue_tokens=32_768)
+    slo = SLOConfig(latency_target=0.01, queue_limit_tokens=4096)
+    elasticity = (
+        ElasticitySchedule.from_fault_config(faults, 4)
+        if faults is not None
+        else None
+    )
+    kwargs = dict(
+        num_moe_layers=num_moe_layers, elasticity=elasticity, seed=seed
+    )
+    flex = build_flexmoe_serving(
+        cluster, model, requests, batching, slo, **kwargs
+    )
+    static = build_static_serving(
+        cluster, model, requests, batching, slo, **kwargs
+    )
+    return flex, static
+
+
+class TestTopicRoutingModel:
+    def test_profiles_are_distributions(self):
+        routing = TopicRoutingModel(2, 8, 3, seed=0)
+        for layer in range(2):
+            for topic in range(3):
+                probs = routing.topic_profile(layer, topic)
+                assert probs.shape == (8,)
+                assert probs.sum() == pytest.approx(1.0)
+                assert (probs > 0).all()
+
+    def test_layers_permute_independently(self):
+        routing = TopicRoutingModel(2, 16, 1, skew=1.3, seed=0)
+        a = routing.topic_profile(0, 0)
+        b = routing.topic_profile(1, 0)
+        assert sorted(a) == pytest.approx(sorted(b))
+        assert not np.allclose(a, b)
+
+    def test_batch_probs_token_weighted(self):
+        routing = TopicRoutingModel(1, 8, 2, seed=0)
+        heavy = Request(index=0, arrival=0.0, tokens=900, topic=0)
+        light = Request(index=1, arrival=0.0, tokens=100, topic=1)
+        mixed = routing.batch_probs(0, [heavy, light])
+        expected = 0.9 * routing.topic_profile(0, 0) + 0.1 * routing.topic_profile(0, 1)
+        assert mixed == pytest.approx(expected)
+
+
+class TestLatencyAccounting:
+    """Acceptance: per-request latency = queue wait + execute time."""
+
+    def test_records_decompose_latency(self):
+        flex, _ = build_pair(small_stream())
+        report = flex.run()
+        assert report.records
+        for record in report.records:
+            assert record.queue_time >= 0
+            assert record.execute_time > 0
+            assert record.latency == pytest.approx(
+                record.queue_time + record.execute_time
+            )
+            assert record.start >= record.request.arrival
+            assert record.queue_time == pytest.approx(
+                record.start - record.request.arrival
+            )
+            assert record.finish == pytest.approx(
+                record.start + record.execute_time
+            )
+
+    def test_batch_mates_share_execute_time(self):
+        flex, _ = build_pair(small_stream())
+        report = flex.run()
+        by_start = {}
+        for record in report.records:
+            by_start.setdefault(record.start, set()).add(record.execute_time)
+        assert all(len(times) == 1 for times in by_start.values())
+
+    def test_every_offered_request_is_accounted(self):
+        requests = small_stream(num_requests=80)
+        flex, _ = build_pair(requests)
+        report = flex.run()
+        served = {r.request.index for r in report.records}
+        rejected = {r.index for r in report.rejected}
+        assert served | rejected == {r.index for r in requests}
+        assert not served & rejected
+        assert report.offered_tokens == sum(r.tokens for r in requests)
+
+    def test_clock_monotone_across_batches(self):
+        flex, _ = build_pair(small_stream())
+        report = flex.run()
+        starts = [r.start for r in report.records]
+        assert starts == sorted(starts)
+        assert report.sim_duration >= max(r.finish for r in report.records) - 1e-12
+
+    def test_no_cold_start_spike(self):
+        """The warm-up pre-pays communicator creation: the first batch's
+        execute time stays within an order of magnitude of the median."""
+        flex, _ = build_pair(small_stream())
+        report = flex.run()
+        execs = report.execute_times
+        assert execs[0] < 10 * np.median(execs)
+
+
+class TestDeterminismAndBaseline:
+    def test_same_seed_same_report(self):
+        requests = small_stream()
+        a = build_pair(requests, seed=3)[0].run()
+        b = build_pair(requests, seed=3)[0].run()
+        assert a.num_batches == b.num_batches
+        assert np.allclose(a.latencies, b.latencies)
+        assert a.sim_duration == pytest.approx(b.sim_duration)
+
+    def test_static_baseline_never_rebalances(self):
+        requests = small_stream()
+        flex, static = build_pair(requests)
+        static_report = static.run()
+        assert static_report.engine == "StaticServing"
+        assert static_report.placement_actions == 0
+        placements = static.engine.placements()
+        balanced = placements[0].counts
+        assert all(np.array_equal(p.counts, balanced) for p in placements)
+
+    def test_engine_names(self):
+        requests = small_stream(num_requests=20)
+        flex, static = build_pair(requests)
+        assert flex.run().engine == "FlexMoE-serving"
+        assert static.run().engine == "StaticServing"
+
+
+class TestElasticityComposition:
+    def test_serving_continues_through_failure_and_recovery(self):
+        requests = small_stream(num_requests=120, rate_rps=40_000.0)
+        faults = FaultConfig(
+            num_failures=1, failure_step=3, recovery_steps=6, seed=0
+        )
+        flex, static = build_pair(requests, faults=faults)
+        report = flex.run()
+        # Every request was either served or shed by backpressure; the
+        # stream outlived the failure.
+        assert len(report.records) + len(report.rejected) == 120
+        kinds = [ev.kind for _, ev in flex.engine.event_log]
+        assert "fail" in kinds
+        # The pool healed: all devices live again at the end.
+        assert flex.engine.cluster_state.num_live == 4
+        # Static serving also survives (forced eviction still happens).
+        static_report = static.run()
+        assert len(static_report.records) + len(static_report.rejected) == 120
+
+    def test_engine_rejects_mismatched_routing_model(self):
+        requests = small_stream(num_requests=10)
+        cluster = cluster_for(4)
+        model = small_model(num_moe_layers=2)
+        routing = TopicRoutingModel(3, 8, 3, seed=0)  # wrong layer count
+        with pytest.raises(ConfigurationError):
+            build_flexmoe_serving(
+                cluster, model, requests,
+                BatchingConfig(max_batch_tokens=1024),
+                SLOConfig(latency_target=0.01),
+                num_moe_layers=2, routing=routing,
+            )
+
+
+class TestSLOPrimitives:
+    def test_latency_window_p99(self):
+        window = LatencyWindow(window=4)
+        assert window.p99() is None
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5):
+            window.observe(value)
+        # Window keeps the last four: 0.2..0.5.
+        assert window.p99() == pytest.approx(
+            np.percentile([0.2, 0.3, 0.4, 0.5], 99)
+        )
+
+    def test_slo_config_defaults_and_validation(self):
+        slo = SLOConfig(latency_target=1.0)
+        assert slo.effective_trigger_p99 == pytest.approx(0.6)
+        assert slo.replace(trigger_p99=0.2).effective_trigger_p99 == 0.2
+        with pytest.raises(ConfigurationError):
+            SLOConfig(latency_target=0.0)
+        with pytest.raises(ConfigurationError):
+            SLOConfig(latency_target=1.0, window=0)
+
+    def test_report_percentiles_and_goodput(self):
+        slo = SLOConfig(latency_target=0.5)
+        requests = [
+            Request(index=i, arrival=0.0, tokens=100, topic=0)
+            for i in range(4)
+        ]
+        records = tuple(
+            RequestRecord(
+                request=requests[i], start=0.0,
+                queue_time=q, execute_time=0.1,
+            )
+            for i, q in enumerate((0.0, 0.1, 0.2, 0.9))
+        )
+        report = ServingReport(
+            engine="test", records=records,
+            rejected=(Request(index=9, arrival=0.0, tokens=100, topic=0),),
+            slo=slo, num_batches=4, sim_duration=2.0,
+        )
+        assert report.p50 == pytest.approx(np.percentile(report.latencies, 50))
+        # Three of four served within the 0.5 s SLO; the rejected request
+        # counts as a miss.
+        assert report.slo_attainment == pytest.approx(3 / 5)
+        assert report.goodput_tokens_per_s == pytest.approx(300 / 2.0)
+        assert report.offered_tokens == 500
+        summary = report.summary()
+        assert summary["requests_rejected"] == 1.0
+        assert summary["p99_latency_s"] == pytest.approx(report.p99)

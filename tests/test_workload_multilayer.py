@@ -86,6 +86,39 @@ class TestContainer:
         trace.save(path)
         assert MultiLayerTrace.load(path) == trace
 
+    def test_roundtrip_preserves_every_layer_exactly(self, tmp_path):
+        trace = make_multilayer_trace(3, 8, 4, small_config(seed=9))
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = MultiLayerTrace.load(path)
+        assert (
+            loaded.num_layers, loaded.num_steps,
+            loaded.num_experts, loaded.num_gpus,
+        ) == (3, trace.num_steps, 8, 4)
+        for layer in range(3):
+            assert loaded.layer(layer) == trace.layer(layer)
+        for t in range(trace.num_steps):
+            frame = loaded.step(t)
+            assert frame.dtype == np.int64
+            assert np.array_equal(frame, trace.step(t))
+
+    def test_loaded_trace_is_immutable(self, tmp_path):
+        trace = make_multilayer_trace(2, 8, 4, small_config())
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = MultiLayerTrace.load(path)
+        with pytest.raises(ValueError):
+            loaded.step(0)[0, 0, 0] = 5
+
+    def test_slice_then_roundtrip(self, tmp_path):
+        trace = make_multilayer_trace(2, 8, 4, small_config())
+        window = trace.slice(1, 3)
+        path = tmp_path / "window.npz"
+        window.save(path)
+        loaded = MultiLayerTrace.load(path)
+        assert loaded == window
+        assert np.array_equal(loaded.step(0), trace.step(1))
+
     def test_load_rejects_single_layer_file(self, tmp_path):
         single = make_trace(8, 4, small_config())
         path = tmp_path / "single.npz"

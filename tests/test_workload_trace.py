@@ -74,9 +74,57 @@ class TestRoutingTrace:
         trace.save(path)
         assert RoutingTrace.load(path) == trace
 
+    def test_roundtrip_preserves_shape_dtype_and_values(self, tmp_path):
+        trace = make_trace(steps=5, experts=6, gpus=3, seed=7)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RoutingTrace.load(path)
+        assert (loaded.num_steps, loaded.num_experts, loaded.num_gpus) == (
+            5, 6, 3,
+        )
+        for t in range(5):
+            frame = loaded.step(t)
+            assert frame.dtype == np.int64
+            assert np.array_equal(frame, trace.step(t))
+
+    def test_roundtrip_of_integral_float_input(self, tmp_path):
+        trace = RoutingTrace(np.array([[[2.0, 3.0], [0.0, 1.0]]]))
+        path = tmp_path / "float.npz"
+        trace.save(path)
+        loaded = RoutingTrace.load(path)
+        assert loaded == trace
+        assert loaded.step(0).dtype == np.int64
+
+    def test_loaded_trace_is_immutable(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RoutingTrace.load(path)
+        with pytest.raises(ValueError):
+            loaded.step(0)[0, 0] = 5
+
+    def test_slice_then_roundtrip(self, tmp_path):
+        trace = make_trace(steps=6)
+        window = trace.slice(2, 5)
+        path = tmp_path / "window.npz"
+        window.save(path)
+        loaded = RoutingTrace.load(path)
+        assert loaded == window
+        assert np.array_equal(loaded.step(0), trace.step(2))
+
     def test_load_rejects_foreign_npz(self, tmp_path):
         path = tmp_path / "other.npz"
         np.savez(path, foo=np.zeros(3))
+        with pytest.raises(RoutingError):
+            RoutingTrace.load(path)
+
+    def test_load_rejects_multilayer_file(self, tmp_path):
+        from repro.workload.trace import MultiLayerTrace
+
+        rng = np.random.default_rng(0)
+        multi = MultiLayerTrace(rng.integers(0, 10, (2, 3, 4, 2)))
+        path = tmp_path / "multi.npz"
+        multi.save(path)
         with pytest.raises(RoutingError):
             RoutingTrace.load(path)
 

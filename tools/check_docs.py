@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs checks: encoding conventions + README quickstart + module drift.
 
-Three guarantees, all enforced in CI (see CONTRIBUTING.md):
+Four guarantees, all enforced in CI (see CONTRIBUTING.md):
 
 1. User-facing docs (README.md, CONTRIBUTING.md, docs/*.md) are valid
    UTF-8 and free of mojibake-prone characters: smart quotes, curly
@@ -16,6 +16,11 @@ Three guarantees, all enforced in CI (see CONTRIBUTING.md):
    and every top-level module/subpackage of ``src/repro/`` must be
    mentioned in the doc (so new subsystems cannot land undocumented and
    deleted ones cannot haunt the docs).
+4. Repo hygiene: no ``__pycache__`` directory or compiled-bytecode file
+   (``*.pyc`` / ``*.pyo``) is tracked by git, so they can never be
+   (re-)committed (``.gitignore`` keeps them out of the index;
+   ``tests/test_repo_hygiene.py`` asserts the same from the tier-1
+   suite).
 
 Exit status 0 on success, 1 with a report on any failure.
 """
@@ -23,6 +28,7 @@ Exit status 0 on success, 1 with a report on any failure.
 from __future__ import annotations
 
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -141,12 +147,44 @@ def check_module_sync(arch: Path) -> list[str]:
     return problems
 
 
+def check_no_tracked_bytecode() -> list[str]:
+    """No ``__pycache__`` directory or ``*.pyc``/``*.pyo`` file is tracked.
+
+    Uses ``git ls-files`` (the *index*, not the working tree: local
+    bytecode is expected and gitignored). Skips silently when git or the
+    repository is unavailable (e.g. a source tarball).
+    """
+    try:
+        listed = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if listed.returncode != 0:
+        return []
+    offenders = [
+        line
+        for line in listed.stdout.splitlines()
+        if "__pycache__" in line or line.endswith((".pyc", ".pyo"))
+    ]
+    return [
+        f"tracked bytecode artifact: {path} (remove it with "
+        "`git rm --cached` -- .gitignore already excludes it)"
+        for path in offenders
+    ]
+
+
 def main() -> int:
     problems: list[str] = []
     for path in doc_paths():
         problems.extend(check_encoding(path))
     problems.extend(check_quickstart(REPO / "README.md"))
     problems.extend(check_module_sync(REPO / "docs" / "architecture.md"))
+    problems.extend(check_no_tracked_bytecode())
     if problems:
         print("docs check FAILED:")
         for problem in problems:
@@ -154,7 +192,7 @@ def main() -> int:
         return 1
     print(
         f"docs check OK ({len(doc_paths())} files, quickstart ran, "
-        "module map in sync)"
+        "module map in sync, no tracked bytecode)"
     )
     return 0
 
