@@ -7,6 +7,11 @@ server evicts and re-homes the lost replicas, keeps rebalancing against
 the drifting topic mix, and is compared against the frozen StaticServing
 baseline on latency percentiles and goodput.
 
+The serving engine runs on the unified discrete-event kernel
+(arrival/dispatch/completion events on one clock -- docs/simulation.md);
+for composing serving with wall-clock elasticity and metered migration
+budgets on that kernel, see examples/composed_scenario.py.
+
 Run:
     python examples/online_serving.py
 

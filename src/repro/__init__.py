@@ -16,7 +16,10 @@ self-contained Python system:
   the quality experiments;
 * :mod:`repro.baselines` — DeepSpeed-style expert parallelism, FasterMoE
   shadowing, SWIPE and FlexMoE as pluggable systems;
-* :mod:`repro.runtime` — the discrete-event execution engine and the
+* :mod:`repro.sim` — the unified discrete-event simulation kernel:
+  one clock, ``(time, priority, seq)``-ordered events, composable
+  :class:`~repro.sim.scenario.Scenario` specs (``docs/simulation.md``);
+* :mod:`repro.runtime` — ground-truth step execution and the
   adjustment queue;
 * :mod:`repro.training` — end-to-end simulated training loops, efficiency
   metrics and the convergence model;
@@ -54,8 +57,15 @@ see ``docs/serving.md``)::
     result = serving_simulation(num_requests=250)
     print(result.summary())
 
+Composed scenarios on the shared kernel clock (serving + wall-clock
+elasticity + metered migration budget; see ``docs/simulation.md``)::
+
+    from repro import scenario_simulation
+    report = scenario_simulation(smoke=True)
+    print(report["ok"], report["serving"]["p99_latency_s"])
+
 Or from the command line:
-``python -m repro run|bench|compare|faults|perf|serve``.
+``python -m repro run|bench|compare|faults|perf|serve|scenario``.
 """
 
 from repro.config import (
@@ -102,8 +112,21 @@ __all__ = [
     "faults_simulation",
     "pipeline_simulation",
     "quick_simulation",
+    "scenario_simulation",
     "serving_simulation",
 ]
+
+
+def scenario_simulation(smoke: bool = False, seed: int = 0):
+    """Run the composed kernel scenario and return its report dict.
+
+    A convenience entry point for the composed-scenario quickstart; see
+    :func:`repro.sim.composed.composed_scenario_run` for every knob and
+    ``docs/simulation.md`` for the kernel/scenario model.
+    """
+    from repro.sim.composed import composed_scenario_run
+
+    return composed_scenario_run(smoke=smoke, seed=seed)
 
 
 def pipeline_simulation(

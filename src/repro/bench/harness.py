@@ -4,7 +4,9 @@ The paper's experiments run for days on 64 A100s; the harness downscales
 the *durations* (trace lengths, training steps) while keeping the structure
 (models, cluster shapes, system line-ups) intact. ``ExperimentScale``
 presets let the same benchmark run as a quick smoke test or a fuller
-reproduction.
+reproduction; the downscaling itself is the repo-wide policy in
+:func:`repro.sim.scenario.smoke_scale` (``SMOKE`` is literally
+``FULL.smoke()``), so every harness shares one smoke-duration rule.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from repro.core.placement import Placement
 from repro.core.router import FlexibleTokenRouter, ReferenceTokenRouter
 from repro.exceptions import ConfigurationError
 from repro.model.zoo import get_model_config
+from repro.sim.scenario import clamp_warmup, smoke_scale
 from repro.training.loop import (
     ComparisonResult,
     PipelineRunResult,
@@ -73,16 +76,30 @@ class ExperimentScale:
         )
         return base.replace(**overrides) if overrides else base
 
+    def smoke(self) -> "ExperimentScale":
+        """CI-scale preset via the shared :func:`smoke_scale` policy.
 
-#: Preset used by the pytest benchmarks (keeps the whole suite in minutes).
-SMOKE = ExperimentScale(
-    num_steps=25, warmup=8, quality_steps=150, seeds=1
-)
+        The floors are the smallest durations at which every experiment
+        still exercises its full structure (enough post-warmup steps for
+        stable aggregates, enough quality steps for the loss to move).
+        """
+        return ExperimentScale(
+            num_steps=smoke_scale(self.num_steps, floor=25),
+            warmup=smoke_scale(self.warmup, floor=8),
+            tokens_per_step=self.tokens_per_step,
+            quality_steps=smoke_scale(self.quality_steps, floor=150),
+            seeds=smoke_scale(self.seeds, floor=1),
+        )
+
 
 #: Preset for a fuller run (EXPERIMENTS.md numbers).
 FULL = ExperimentScale(
     num_steps=80, warmup=15, quality_steps=400, seeds=3
 )
+
+#: Preset used by the pytest benchmarks (keeps the whole suite in
+#: minutes). Derived from FULL by the repo-wide smoke-duration policy.
+SMOKE = FULL.smoke()
 
 
 def cluster_for(
@@ -271,7 +288,7 @@ def pipeline_run(
             seed=seed,
         ),
     )
-    return simulate_pipeline(engine, trace, warmup=min(warmup, num_steps - 1))
+    return simulate_pipeline(engine, trace, warmup=clamp_warmup(warmup, num_steps))
 
 
 @dataclass(frozen=True)
@@ -470,7 +487,7 @@ def faults_run(
         baseline=static_result,
         schedule=schedule,
         num_gpus=num_gpus,
-        warmup=min(warmup, num_steps - 1),
+        warmup=clamp_warmup(warmup, num_steps),
         flexmoe_rehomed=_placements_rehomed(flexmoe, min_replicas=2),
         baseline_rehomed=_placements_rehomed(static, min_replicas=2),
         delta_fallbacks=flexmoe.delta_fallbacks() + static.delta_fallbacks(),

@@ -17,12 +17,18 @@ Three benchmark families:
 * :func:`faults_overhead_benchmark` — the same toggle on the elastic
   failure/straggler scenario (FlexMoE vs Static under a seeded event
   schedule).
+* :func:`kernel_overhead_benchmark` — simulated steps/second of the
+  unified discrete-event kernel (:mod:`repro.sim`) against the retired
+  inline step loop on the identical engine/trace: the kernel's heap
+  events must stay within 5% of the legacy loop AND produce identical
+  simulated results.
 
 :func:`perf_suite` composes them; its ``ok`` verdict requires every delta
-evaluator to report **zero fallbacks** to full recomputation and every
-decision/simulation equivalence to hold.  CI runs ``python -m repro perf
---smoke`` and fails on a false verdict, so the delta hot path cannot
-silently regress into the slow path.
+evaluator to report **zero fallbacks** to full recomputation, every
+decision/simulation equivalence to hold, and the event kernel to stay
+within its overhead tolerance.  CI runs ``python -m repro perf --smoke``
+and fails on a false verdict, so neither the delta hot path nor the
+kernel hosting can silently regress.
 """
 
 from __future__ import annotations
@@ -271,6 +277,90 @@ def faults_overhead_benchmark(
     }
 
 
+def kernel_overhead_benchmark(
+    num_moe_layers: int = 4,
+    num_gpus: int = 16,
+    num_experts: int = 32,
+    num_steps: int = 30,
+    tokens_per_gpu: int = 32_768,
+    seed: int = 0,
+    repeats: int = 5,
+    tolerance: float = 0.05,
+) -> dict[str, object]:
+    """Event-kernel vs legacy-loop steps/sec on the identical run.
+
+    Each path rebuilds a seed-matched engine per repeat (schedulers are
+    stateful, so a trace cannot be replayed on the same engine); the two
+    paths run INTERLEAVED and the best-of-``repeats`` timing is kept per
+    path, which suppresses scheduler/machine noise on shared CI boxes.
+    ``within_tolerance`` requires the kernel's steps/sec to stay within
+    ``tolerance`` of the legacy loop's; simulated results must match
+    exactly (the two paths run the same phase sequence, so any
+    divergence is a kernel bug, not jitter).
+    """
+    from repro.runtime.pipeline import build_engine
+    from repro.training.loop import simulate_pipeline
+
+    model = MoEModelConfig(
+        name=f"perf-kernel-{num_moe_layers}L",
+        num_layers=2 * num_moe_layers,
+        d_model=2048,
+        d_ffn=8192,
+        num_experts=num_experts,
+    )
+    trace = make_multilayer_trace(
+        num_moe_layers,
+        num_experts,
+        num_gpus,
+        WorkloadConfig(
+            tokens_per_step=tokens_per_gpu * num_gpus,
+            num_steps=num_steps,
+            seed=seed,
+        ),
+    )
+
+    def one_pass(kernel: bool) -> tuple[float, float]:
+        engine = build_engine(
+            cluster_for(num_gpus), model,
+            num_moe_layers=num_moe_layers, seed=seed,
+        )
+        start = time.perf_counter()
+        result = simulate_pipeline(
+            engine, trace, warmup=min(5, num_steps - 1), kernel=kernel
+        )
+        return time.perf_counter() - start, result.mean_step_time
+
+    legacy_s = kernel_s = float("inf")
+    legacy_sim = kernel_sim = 0.0
+    one_pass(False)  # untimed warm-up (lazy caches, code paths)
+    for _ in range(max(repeats, 1)):
+        elapsed, legacy_sim = one_pass(False)
+        legacy_s = min(legacy_s, elapsed)
+        elapsed, kernel_sim = one_pass(True)
+        kernel_s = min(kernel_s, elapsed)
+    legacy_rate = num_steps / legacy_s if legacy_s > 0 else 0.0
+    kernel_rate = num_steps / kernel_s if kernel_s > 0 else 0.0
+    return {
+        "num_moe_layers": num_moe_layers,
+        "num_gpus": num_gpus,
+        "num_experts": num_experts,
+        "num_steps": num_steps,
+        "repeats": repeats,
+        "legacy_seconds": legacy_s,
+        "kernel_seconds": kernel_s,
+        "legacy_steps_per_sec": legacy_rate,
+        "kernel_steps_per_sec": kernel_rate,
+        "overhead_pct": (
+            100.0 * (kernel_s - legacy_s) / legacy_s if legacy_s > 0 else 0.0
+        ),
+        "tolerance_pct": 100.0 * tolerance,
+        "within_tolerance": kernel_rate >= (1.0 - tolerance) * legacy_rate,
+        "simulated_results_match": bool(np.isclose(
+            legacy_sim, kernel_sim, rtol=1e-12, atol=0.0
+        )),
+    }
+
+
 def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
     """The full scheduling-overhead report.
 
@@ -293,10 +383,15 @@ def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
             num_moe_layers=2, num_gpus=8, num_experts=16, num_steps=25,
             seed=seed,
         )
+        kernel = kernel_overhead_benchmark(
+            num_moe_layers=2, num_gpus=8, num_experts=16, num_steps=12,
+            seed=seed,
+        )
     else:
         planner = planner_benchmark(seed=seed)
         pipeline = pipeline_overhead_benchmark(seed=seed)
         faults = faults_overhead_benchmark(seed=seed)
+        kernel = kernel_overhead_benchmark(seed=seed)
     fallbacks = (
         float(planner["fallbacks"])
         + float(pipeline["fallbacks"])
@@ -306,6 +401,8 @@ def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
         bool(planner["decisions_match"])
         and bool(pipeline["simulated_results_match"])
         and bool(faults["simulated_results_match"])
+        and bool(kernel["simulated_results_match"])
+        and bool(kernel["within_tolerance"])
         and fallbacks == 0.0
     )
     return {
@@ -315,6 +412,7 @@ def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
         "planner": planner,
         "pipeline": pipeline,
         "faults": faults,
+        "kernel": kernel,
         "total_fallbacks": fallbacks,
         "ok": ok,
     }

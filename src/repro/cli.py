@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Six subcommands expose the simulation engine without writing any code:
+Seven subcommands expose the simulation engine without writing any code:
 
 * ``run``     — multi-layer pipelined FlexMoE run with an overlap-aware
   step-time breakdown and per-layer placement divergence;
@@ -19,7 +19,12 @@ Six subcommands expose the simulation engine without writing any code:
   (bursty/diurnal arrival, drifting topics) served by the dynamic
   FlexMoE server vs the frozen ``StaticServing`` baseline, with
   p50/p95/p99 latency and goodput written to
-  ``BENCH_serving_latency.json`` (see ``docs/serving.md``).
+  ``BENCH_serving_latency.json`` (see ``docs/serving.md``);
+* ``scenario`` — the composed discrete-event scenario on the unified
+  simulation kernel: serving under diurnal load WHILE devices fail and
+  recover at wall-clock times WHILE a metered migration budget competes
+  for bandwidth, written to ``BENCH_composed_scenario.json`` (see
+  ``docs/simulation.md``).
 
 Every benchmark in ``benchmarks/`` and example in ``examples/`` builds on
 the same harness functions these commands call, so the CLI is the quickest
@@ -293,6 +298,57 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json", action="store_true", help="print the report too")
 
 
+def _add_scenario_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "scenario",
+        help="composed scenario on the unified simulation kernel",
+        description=(
+            "Run a declarative composed scenario on the shared "
+            "discrete-event kernel: an SLO-aware diurnal serving stream, "
+            "wall-clock-timed device failures and recoveries, and a "
+            "metered background migration budget all advance one clock. "
+            "None of the retired bespoke loops could express this "
+            "combination; see docs/simulation.md."
+        ),
+    )
+    p.add_argument("--layers", type=int, default=2, help="MoE layers (default 2)")
+    p.add_argument("--experts", type=int, default=16, help="experts per layer")
+    p.add_argument("--gpus", type=int, default=8, help="cluster size")
+    p.add_argument(
+        "--requests", type=int, default=400, help="stream length (default 400)"
+    )
+    p.add_argument(
+        "--load", type=float, default=0.85,
+        help="offered load vs the balanced token capacity (default 0.85)",
+    )
+    p.add_argument(
+        "--failures", type=int, default=1,
+        help="devices failing (and later recovering) mid-stream; above 1, "
+        "a budget-starved re-home can legitimately abort the run with "
+        "'model states are gone'",
+    )
+    p.add_argument(
+        "--budget-bandwidth", type=float, default=0.5,
+        help="fraction of link time each migration-budget grant hands "
+        "the adjustment streams (default 0.5)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-scale scenario (shared smoke-duration policy); fails "
+        "unless the ok marker holds",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_composed_scenario.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: "
+        "BENCH_composed_scenario.json in the current directory)",
+    )
+    p.add_argument("--json", action="store_true", help="print the report too")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -306,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_parser(sub)
     _add_perf_parser(sub)
     _add_serve_parser(sub)
+    _add_scenario_parser(sub)
     return parser
 
 
@@ -597,6 +654,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             f"({section['speedup']:.1f}x), simulation "
             f"{'identical' if section['simulated_results_match'] else 'DIVERGED'}"
         )
+    kernel = report["kernel"]
+    print(
+        f"kernel    event-kernel {kernel['kernel_steps_per_sec']:8.1f} steps/s "
+        f"vs legacy loop {kernel['legacy_steps_per_sec']:8.1f} steps/s "
+        f"({kernel['overhead_pct']:+.2f}% overhead, tolerance "
+        f"{kernel['tolerance_pct']:.0f}%), simulation "
+        f"{'identical' if kernel['simulated_results_match'] else 'DIVERGED'}"
+    )
     memo = planner["memo"]
     print(
         f"memo      hits {int(memo['hits'])}  misses {int(memo['misses'])}  "
@@ -709,6 +774,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.serving import write_report
+    from repro.sim.composed import ComposedScenarioConfig, composed_scenario_run
+
+    config = ComposedScenarioConfig(
+        num_moe_layers=args.layers,
+        num_gpus=args.gpus,
+        num_experts=args.experts,
+        num_requests=args.requests,
+        load=args.load,
+        num_failures=args.failures,
+        budget_bandwidth=args.budget_bandwidth,
+        seed=args.seed,
+    )
+    summary = composed_scenario_run(smoke=args.smoke, config=config)
+    try:
+        path = write_report(summary, Path(args.output))
+    except OSError as exc:
+        print(f"error: cannot write report to {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
+    ok = bool(summary["ok"]) or not args.smoke
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    scenario = summary["scenario"]
+    serving = summary["serving"]
+    print(
+        f"composed scenario: {scenario['num_moe_layers']} MoE layers x "
+        f"{scenario['num_experts']} experts on {scenario['num_gpus']} GPUs, "
+        f"{scenario['num_requests']} requests (diurnal arrival, load "
+        f"{scenario['load']:.2f}, {scenario['rate_rps']:.0f} req/s calibrated)"
+    )
+    print(
+        f"  one kernel, three sources: serving stream + "
+        f"{scenario['num_failures']} timed device outage(s) + migration "
+        f"budget at {100 * scenario['budget_bandwidth']:.0f}% bandwidth "
+        f"every {1e3 * scenario['budget_interval_s']:.3f} ms"
+    )
+    print("  cluster events (wall-clock, not batch-quantized):")
+    for event in summary["cluster_events"]:
+        print(
+            f"    t={1e3 * event['time_s']:9.3f} ms  {event['kind']:<8} "
+            f"gpu {event['gpu']}"
+        )
+    print(
+        f"  served {int(serving['requests_served'])} requests in "
+        f"{int(serving['num_batches'])} batches "
+        f"(p99 {1e3 * serving['p99_latency_s']:.3f} ms, SLO attainment "
+        f"{serving['slo_attainment']:.3f}, goodput "
+        f"{serving['goodput_tokens_per_s']:.0f} tokens/s)"
+    )
+    print(
+        f"  migration budget: {summary['budget_grants']} grants committed "
+        f"{summary['budget_committed_actions']} placement actions "
+        f"(in-step commits are deferred in this scenario)"
+    )
+    print(
+        f"  kernel processed {summary['processed_events']} events; experts "
+        f"survive: {'yes' if summary['experts_survive'] else 'NO'}"
+    )
+    print(f"  report written to {path}")
+    if args.smoke:
+        print("scenario smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -718,6 +853,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "faults": _cmd_faults,
         "perf": _cmd_perf,
         "serve": _cmd_serve,
+        "scenario": _cmd_scenario,
     }
     try:
         return handlers[args.command](args)

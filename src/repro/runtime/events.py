@@ -1,28 +1,24 @@
-"""Minimal discrete-event simulation core.
+"""Compatibility event loop over the unified simulation kernel.
 
-A classic priority-queue event loop. The executor uses it to interleave
-per-GPU compute/communication completions and background adjustment
-transfers on a shared clock, so overlap effects (best-effort adjustment,
-parallel transfers) emerge from event ordering rather than ad-hoc formulas.
+Historic home of the repo's first discrete-event core; the substrate now
+lives in :mod:`repro.sim.kernel`, and :class:`EventLoop` remains as a
+thin adapter for code written against the original callback-takes-loop
+interface. New code should use :class:`~repro.sim.kernel.SimKernel`
+directly (and declare a :class:`~repro.sim.kernel.Priority` instead of
+relying on insertion order alone).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.exceptions import SimulationError
+from repro.sim.kernel import Priority, SimKernel
 
 
 @dataclass(order=True)
 class Event:
-    """A scheduled callback.
-
-    Events are ordered by ``(time, sequence)``; the sequence number makes
-    ordering stable for simultaneous events (FIFO among equals).
-    """
+    """A scheduled callback (legacy shape, ordered by ``(time, sequence)``)."""
 
     time: float
     sequence: int
@@ -31,22 +27,24 @@ class Event:
 
 
 class EventLoop:
-    """Priority-queue driven simulation clock."""
+    """Priority-queue driven simulation clock (kernel-backed).
+
+    Every event schedules at :attr:`~repro.sim.kernel.Priority.STEP`, so
+    ordering degenerates to the original ``(time, sequence)`` FIFO-among-
+    equals rule; the kernel's ``seq`` counter provides the sequence.
+    """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._counter = itertools.count()
-        self._now = 0.0
-        self._processed = 0
+        self._kernel = SimKernel()
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
-        return self._now
+        return self._kernel.now
 
     @property
     def processed_events(self) -> int:
-        return self._processed
+        return self._kernel.processed_events
 
     def schedule(
         self,
@@ -55,16 +53,12 @@ class EventLoop:
         label: str = "",
     ) -> Event:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(
-            time=self._now + delay,
-            sequence=next(self._counter),
-            callback=callback,
-            label=label,
+        event = self._kernel.schedule(
+            delay, lambda: callback(self), Priority.STEP, label=label
         )
-        heapq.heappush(self._queue, event)
-        return event
+        return Event(
+            time=event.time, sequence=event.seq, callback=callback, label=label
+        )
 
     def schedule_at(
         self,
@@ -73,18 +67,12 @@ class EventLoop:
         label: str = "",
     ) -> Event:
         """Schedule ``callback`` at absolute simulation time ``time``."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at {time} before current time {self._now}"
-            )
-        event = Event(
-            time=time,
-            sequence=next(self._counter),
-            callback=callback,
-            label=label,
+        event = self._kernel.schedule_at(
+            time, lambda: callback(self), Priority.STEP, label=label
         )
-        heapq.heappush(self._queue, event)
-        return event
+        return Event(
+            time=event.time, sequence=event.seq, callback=callback, label=label
+        )
 
     def run(self, until: float | None = None, max_events: int = 1_000_000) -> float:
         """Process events in time order.
@@ -97,21 +85,7 @@ class EventLoop:
         Returns:
             The simulation time after the run.
         """
-        while self._queue:
-            if self._processed >= max_events:
-                raise SimulationError(
-                    f"event budget exhausted after {max_events} events"
-                )
-            if until is not None and self._queue[0].time > until:
-                self._now = until
-                return self._now
-            event = heapq.heappop(self._queue)
-            self._now = event.time
-            self._processed += 1
-            event.callback(self)
-        if until is not None:
-            self._now = max(self._now, until)
-        return self._now
+        return self._kernel.run(until=until, max_events=max_events)
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._kernel)

@@ -461,6 +461,26 @@ class LayerPipeline:
         return self._emit_actions(tuple(actions))
 
 
+@dataclass
+class PendingStep:
+    """In-flight state of one engine step between its kernel phases.
+
+    The step phases (:meth:`MultiLayerFlexMoEEngine.step_schedule` /
+    ``step_execute`` / ``step_commit``) hand this object along; the
+    legacy-shaped :meth:`MultiLayerFlexMoEEngine.step` runs all three
+    back to back, while kernel scenarios fire them as separate TRIGGER /
+    STEP / STREAM events on the shared clock.
+    """
+
+    step_index: int
+    assignments: np.ndarray
+    observed: np.ndarray
+    outcomes: list = None
+    blocking: float = 0.0
+    plans: list = None
+    timing: PipelineStepTiming = None
+
+
 @dataclass(frozen=True)
 class PipelineStepResult:
     """Per-step outcome of the multi-layer engine.
@@ -569,6 +589,7 @@ class MultiLayerFlexMoEEngine:
         self._cluster_state = state
         self._event_log: list[tuple[int, ClusterEvent]] = []
         self._pending_event_blocking = 0.0
+        self._elastic_applied_through = -1
         self._pipe = PipelinedStepExecutor(
             executor,
             num_moe_layers=num_moe_layers,
@@ -672,12 +693,43 @@ class MultiLayerFlexMoEEngine:
     # ------------------------------------------------------------------
     # Elasticity
     # ------------------------------------------------------------------
-    def _apply_elasticity(self, step_index: int) -> None:
-        """Apply due events: update the pool, evict/re-home, refill."""
+    def apply_elasticity(self, step_index: int) -> None:
+        """Apply the engine's schedule due at ``step_index`` (idempotent).
+
+        A high-water mark makes double delivery harmless: when a kernel
+        scenario fires the same step's elasticity as an explicit FAILURE
+        event, the schedule phase's just-in-time call becomes a no-op --
+        and without such a source, the schedule phase still applies the
+        events exactly as the retired internal loop did.
+        """
+        if self._elasticity is None:
+            return
+        if step_index <= self._elastic_applied_through:
+            return
+        self._elastic_applied_through = step_index
+        events = self._elasticity.events_at(step_index)
+        if events:
+            self.apply_cluster_events(events, when=step_index)
+
+    def apply_cluster_events(
+        self, events: tuple[ClusterEvent, ...] | list[ClusterEvent], when: float
+    ) -> None:
+        """Apply cluster events now: update the pool, evict/re-home, refill.
+
+        ``when`` only labels the event log (a step index for step-keyed
+        schedules, simulated seconds for time-keyed scenario sources).
+        Blocking seconds from evictions/refills accumulate and charge to
+        the next step's schedule phase.
+        """
         state = self._cluster_state
+        if state is None:
+            raise SimulationError(
+                "engine has no cluster state; construct it with elasticity "
+                "(an empty ElasticitySchedule suffices) to apply events"
+            )
         failed: list[int] = []
         recovered: list[int] = []
-        for event in self._elasticity.events_at(step_index):
+        for event in events:
             if event.kind == "fail":
                 if not state.is_alive(event.gpu):
                     continue  # redundant event; the device is already gone
@@ -692,7 +744,7 @@ class MultiLayerFlexMoEEngine:
                 state.set_speed(event.gpu, event.factor)
             else:  # "restore"
                 state.set_speed(event.gpu, 1.0)
-            self._event_log.append((step_index, event))
+            self._event_log.append((when, event))
         blocking = 0.0
         if failed:
             live = state.live_gpus()
@@ -704,26 +756,21 @@ class MultiLayerFlexMoEEngine:
         self._pending_event_blocking += blocking
 
     # ------------------------------------------------------------------
-    # Step
+    # Step (three kernel-hostable phases; ``step`` composes them)
     # ------------------------------------------------------------------
-    def step(
+    def step_schedule(
         self,
         assignments: np.ndarray,
         step_index: int,
         scheduling_assignments: np.ndarray | None = None,
-    ) -> PipelineStepResult:
-        """Process one training step's gate assignments for all layers.
+    ) -> PendingStep:
+        """The schedule phase (kernel priority TRIGGER).
 
-        Args:
-            assignments: Integer tensor ``(layers, experts, gpus)`` — one
-                gate assignment matrix ``I`` per MoE layer.
-            step_index: Monotone step counter (drives static triggers).
-            scheduling_assignments: Optional separate view the schedulers
-                observe instead of ``assignments`` (same shape; floats
-                allowed). Execution always uses ``assignments``. The
-                serving engine passes a smoothed popularity estimate here
-                so placement chases the demand *trend*, not one
-                micro-batch's sampling noise.
+        Applies any still-pending elasticity for ``step_index``,
+        re-shards dead devices' batch shards over the survivors, and runs
+        every layer's monitoring loop: the Scheduler observes its
+        assignment (or the caller's smoothed scheduling view) and emits
+        actions into its best-effort stream.
         """
         assignments = np.asarray(assignments)
         if assignments.ndim != 3 or assignments.shape[0] != len(self._layers):
@@ -739,10 +786,10 @@ class MultiLayerFlexMoEEngine:
                     f"{assignments.shape}; got {scheduling_assignments.shape}"
                 )
 
-        # Phase 0 — elasticity: apply due events and re-shard the batches
-        # of dead devices over the survivors.
+        # Elasticity due at this step (no-op when an ElasticitySource on
+        # the kernel already delivered it at FAILURE priority).
         if self._elasticity is not None:
-            self._apply_elasticity(step_index)
+            self.apply_elasticity(step_index)
         state = self._cluster_state
         if state is not None:
             live = state.live_mask()
@@ -758,9 +805,6 @@ class MultiLayerFlexMoEEngine:
                         ]
                     )
 
-        # Phase 1 — every layer's scheduler observes its own assignment
-        # (or the caller's smoothed scheduling view) and emits actions
-        # into its best-effort stream.
         observed = (
             assignments
             if scheduling_assignments is None
@@ -773,38 +817,70 @@ class MultiLayerFlexMoEEngine:
             layer_blocking, outcome = layer.begin_step(assignment, step_index)
             blocking += layer_blocking
             outcomes.append(outcome)
-
-        # Phase 2 — route every layer over its ACTIVE placement and play
-        # the pipelined whole-transformer step.
-        plans = [
-            layer.route(assignment)
-            for layer, assignment in zip(self._layers, assignments)
-        ]
-        timing = self._pipe.execute(
-            [plan.routes for plan in plans],
-            [layer.active_placement for layer in self._layers],
-            adjustment_blocking=blocking,
+        return PendingStep(
+            step_index=step_index,
+            assignments=assignments,
+            observed=observed,
+            outcomes=outcomes,
+            blocking=blocking,
         )
 
-        # Phase 3 — the adjustment streams ride the whole step: every
-        # layer's stream gets the full step window as transfer budget.
-        budget = timing.step_time
+    def step_execute(self, pending: PendingStep) -> PipelineStepTiming:
+        """The execute phase (kernel priority STEP).
+
+        Routes every layer over its ACTIVE placement and plays the
+        pipelined whole-transformer step.
+        """
+        pending.plans = [
+            layer.route(assignment)
+            for layer, assignment in zip(self._layers, pending.assignments)
+        ]
+        pending.timing = self._pipe.execute(
+            [plan.routes for plan in pending.plans],
+            [layer.active_placement for layer in self._layers],
+            adjustment_blocking=pending.blocking,
+        )
+        return pending.timing
+
+    def step_commit(
+        self, pending: PendingStep, stream_budget: float | None = None
+    ) -> PipelineStepResult:
+        """The commit phase (kernel priority STREAM).
+
+        The best-effort adjustment streams receive ``stream_budget``
+        seconds of transfer time (default: the whole step's duration,
+        the retired loop's behaviour) and ready actions commit to the
+        active placements. Scenarios metering migration bandwidth pass
+        ``0.0`` here and grant budget through
+        :meth:`advance_streams` from an explicit budget source instead.
+        """
+        if pending.timing is None:
+            raise SimulationError(
+                "step_commit called before step_execute for step "
+                f"{pending.step_index}"
+            )
+        budget = (
+            pending.timing.step_time if stream_budget is None else stream_budget
+        )
         committed = tuple(
             layer.advance_stream(budget)
             if layer.config.best_effort
             else len(outcome.actions)
-            for layer, outcome in zip(self._layers, outcomes)
+            for layer, outcome in zip(self._layers, pending.outcomes)
         )
 
-        assigned = int(assignments.sum())
+        assigned = int(pending.assignments.sum())
+        state = self._cluster_state
         self._steps_run += 1
         return PipelineStepResult(
-            timing=timing,
+            timing=pending.timing,
             assigned_tokens=assigned,
             processed_tokens=assigned,
-            layer_gpu_loads=np.stack([plan.gpu_loads for plan in plans]),
+            layer_gpu_loads=np.stack(
+                [plan.gpu_loads for plan in pending.plans]
+            ),
             layer_locality=np.array(
-                [plan.locality_fraction for plan in plans]
+                [plan.locality_fraction for plan in pending.plans]
             ),
             layer_actions=committed,
             live_gpus=(
@@ -812,6 +888,46 @@ class MultiLayerFlexMoEEngine:
                 else self._executor.topology.num_gpus
             ),
         )
+
+    def advance_streams(self, budget: float) -> int:
+        """Grant ``budget`` seconds of bandwidth to every best-effort
+        stream; returns the placement actions that committed."""
+        if budget < 0:
+            raise SimulationError("stream budget must be >= 0")
+        return sum(
+            layer.advance_stream(budget)
+            for layer in self._layers
+            if layer.config.best_effort
+        )
+
+    def step(
+        self,
+        assignments: np.ndarray,
+        step_index: int,
+        scheduling_assignments: np.ndarray | None = None,
+    ) -> PipelineStepResult:
+        """Process one training step's gate assignments for all layers.
+
+        Composes the three phases back to back -- exactly what a kernel
+        scenario does when no other source interleaves, so the two paths
+        are decision- and metric-identical by construction.
+
+        Args:
+            assignments: Integer tensor ``(layers, experts, gpus)`` — one
+                gate assignment matrix ``I`` per MoE layer.
+            step_index: Monotone step counter (drives static triggers).
+            scheduling_assignments: Optional separate view the schedulers
+                observe instead of ``assignments`` (same shape; floats
+                allowed). Execution always uses ``assignments``. The
+                serving engine passes a smoothed popularity estimate here
+                so placement chases the demand *trend*, not one
+                micro-batch's sampling noise.
+        """
+        pending = self.step_schedule(
+            assignments, step_index, scheduling_assignments
+        )
+        self.step_execute(pending)
+        return self.step_commit(pending)
 
 
 def build_engine(

@@ -1,8 +1,12 @@
 """The online serving engine: discrete-event micro-batch execution.
 
 :class:`ServingEngine` closes the loop the ROADMAP's north star asks for:
-live, bursty request arrival driving the dynamic-placement core. It is a
-discrete-event simulation over one simulated clock:
+live, bursty request arrival driving the dynamic-placement core. It runs
+on the unified discrete-event kernel (:mod:`repro.sim`): arrivals, batch
+dispatches and completions are kernel events on one simulated clock
+(see ``docs/simulation.md``), and the engine composes with any other
+event source -- time-keyed elasticity, stream budgets -- in one
+:class:`~repro.sim.scenario.Scenario`. Per batch:
 
 1. **Admit** -- requests whose arrival time has passed enter the
    admission queue (or are rejected by backpressure).
@@ -36,6 +40,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.runtime.pipeline import MultiLayerFlexMoEEngine
+from repro.sim import Scenario, ServingSource
 from repro.serving.admission import AdmissionQueue, BatchingConfig
 from repro.serving.requests import Request
 from repro.serving.slo import (
@@ -280,60 +285,152 @@ class ServingEngine:
                 if len(group) > 1:
                     cache.acquire(group)
 
-    def run(self) -> ServingReport:
-        """Serve the whole stream and return the latency/goodput report."""
+    def event_source(
+        self, stream_budget: float | None = None
+    ) -> "_ServingRun":
+        """The server as a kernel event source (arrival/dispatch/completion).
+
+        Returns a :class:`_ServingRun` handle whose ``source`` can be
+        composed into any :class:`~repro.sim.scenario.Scenario` --
+        alongside time-keyed elasticity, stream-budget grants, or other
+        traffic -- and whose ``report()`` assembles the
+        :class:`~repro.serving.slo.ServingReport` once the kernel has
+        drained. :meth:`run` is the single-source case.
+
+        Args:
+            stream_budget: Per-batch adjustment-stream budget forwarded
+                to the engine's commit phase. ``None`` (default) grants
+                each batch its own duration, the classic behaviour;
+                ``0.0`` defers all commits to an external
+                :class:`~repro.sim.sources.StreamBudgetSource`.
+        """
         self._warm_up()
-        queue = AdmissionQueue(self._batching)
-        window = LatencyWindow(self._slo.window)
-        pending = deque(self._requests)
-        records: list[RequestRecord] = []
-        rejected: list[Request] = []
+        return _ServingRun(self, stream_budget=stream_budget)
+
+    def run(self, kernel: bool = True) -> ServingReport:
+        """Serve the whole stream and return the latency/goodput report.
+
+        The stream runs as arrival/batch/completion events on the shared
+        discrete-event kernel. ``kernel=False`` replays the retired
+        hand-rolled clock loop instead (kept for the identity tests);
+        both paths produce identical reports on seeded runs.
+        """
+        if kernel:
+            run = self.event_source()
+            Scenario(
+                name=f"serve-{type(self).name}",
+                sources=(run.source,),
+            ).run()
+            self._report = run.report()
+            return self._report
+        return self._run_legacy()
+
+    def _run_legacy(self) -> ServingReport:
+        """The pre-kernel clock loop (identity-test reference only)."""
+        self._warm_up()
+        run = _ServingRun(self, legacy=True)
+        pending = deque(run.requests)
         clock = 0.0
         batches = 0
-        actions = 0
+        rejected: list[Request] = []
 
-        while pending or queue.queued_requests:
+        while pending or run.queue.queued_requests:
             while pending and pending[0].arrival <= clock:
                 request = pending.popleft()
-                if not queue.offer(request):
+                if not run.queue.offer(request):
                     rejected.append(request)
-            if not queue.queued_requests:
+            if not run.queue.queued_requests:
                 # Idle: jump the clock to the next arrival.
                 clock = max(clock, pending[0].arrival)
                 continue
 
-            batch = queue.next_batch()
-            self._engine.observe_serving_signals(
-                p99_latency=window.p99(),
-                queue_tokens=float(queue.queued_tokens),
-            )
-            assignments = self._batch_assignments(batch)
-            result = self._engine.step(
-                assignments,
-                batches,
-                scheduling_assignments=self._update_demand(assignments),
-            )
-            execute = result.step_time
-            for request in batch:
-                record = RequestRecord(
-                    request=request,
-                    start=clock,
-                    queue_time=clock - request.arrival,
-                    execute_time=execute,
-                )
-                records.append(record)
-                window.observe(record.latency)
-            actions += result.scheduling_actions
-            clock += execute
+            batch = run.queue.next_batch()
+            clock += run.serve(batch, clock, batches)
             batches += 1
 
-        self._report = ServingReport(
-            engine=type(self).name,
-            records=tuple(records),
-            rejected=tuple(rejected),
-            slo=self._slo,
-            num_batches=batches,
-            sim_duration=clock,
-            placement_actions=actions,
+        self._report = run.legacy_report(
+            rejected=tuple(rejected), num_batches=batches, sim_duration=clock
         )
         return self._report
+
+
+class _ServingRun:
+    """One serving run's mutable state plus its kernel event source.
+
+    Owns the admission queue, the rolling latency window, and the
+    per-request records; :class:`~repro.sim.sources.ServingSource`
+    drives it on the kernel clock, while the legacy loop drives the same
+    ``serve`` callback directly.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        stream_budget: float | None = None,
+        legacy: bool = False,
+    ) -> None:
+        self._server = engine
+        self._stream_budget = stream_budget
+        self.queue = AdmissionQueue(engine._batching)
+        self.window = LatencyWindow(engine.slo.window)
+        self.requests = engine._requests
+        self.records: list[RequestRecord] = []
+        self.actions = 0
+        self.source: ServingSource | None = None
+        if not legacy:
+            self.source = ServingSource(self.requests, self.queue, self.serve)
+
+    def serve(self, batch: Sequence[Request], now: float, index: int) -> float:
+        """Serve one micro-batch at simulated time ``now``; returns its
+        modelled duration."""
+        server = self._server
+        server._engine.observe_serving_signals(
+            p99_latency=self.window.p99(),
+            queue_tokens=float(self.queue.queued_tokens),
+        )
+        assignments = server._batch_assignments(batch)
+        pending = server._engine.step_schedule(
+            assignments,
+            index,
+            scheduling_assignments=server._update_demand(assignments),
+        )
+        server._engine.step_execute(pending)
+        result = server._engine.step_commit(
+            pending, stream_budget=self._stream_budget
+        )
+        execute = result.step_time
+        for request in batch:
+            record = RequestRecord(
+                request=request,
+                start=now,
+                queue_time=now - request.arrival,
+                execute_time=execute,
+            )
+            self.records.append(record)
+            self.window.observe(record.latency)
+        self.actions += result.scheduling_actions
+        return execute
+
+    def report(self) -> ServingReport:
+        """Assemble the report from the kernel source's final state."""
+        return self.legacy_report(
+            rejected=tuple(self.source.rejected),
+            num_batches=self.source.num_batches,
+            sim_duration=self.source.last_completion,
+        )
+
+    def legacy_report(
+        self,
+        rejected: tuple[Request, ...],
+        num_batches: int,
+        sim_duration: float,
+    ) -> ServingReport:
+        return ServingReport(
+            engine=type(self._server).name,
+            records=tuple(self.records),
+            rejected=rejected,
+            slo=self._server.slo,
+            num_batches=num_batches,
+            sim_duration=sim_duration,
+            placement_actions=self.actions,
+        )

@@ -1,0 +1,49 @@
+"""Unified discrete-event simulation kernel and scenario specs.
+
+One clock for every workload: training steps, elasticity schedules,
+adjustment-stream budgets and serving arrivals all run as event sources
+on the :class:`~repro.sim.kernel.SimKernel`, composed declaratively by
+:class:`~repro.sim.scenario.Scenario` specs. ``repro.sim.composed``
+builds the flagship composition (serving + elasticity + budgeted
+migration) behind ``python -m repro scenario``; it is imported lazily to
+keep this package importable from the layers it serves. See
+``docs/simulation.md``.
+"""
+
+from repro.sim.kernel import (
+    Actor,
+    EventQueue,
+    EventSource,
+    Priority,
+    SimClock,
+    SimEvent,
+    SimKernel,
+)
+from repro.sim.scenario import Scenario, clamp_warmup, smoke_scale
+from repro.sim.sources import (
+    ElasticitySource,
+    PipelineStepSource,
+    ServingSource,
+    StreamBudgetSource,
+    SystemStepSource,
+    TimedClusterEventSource,
+)
+
+__all__ = [
+    "Actor",
+    "ElasticitySource",
+    "EventQueue",
+    "EventSource",
+    "PipelineStepSource",
+    "Priority",
+    "Scenario",
+    "ServingSource",
+    "SimClock",
+    "SimEvent",
+    "SimKernel",
+    "StreamBudgetSource",
+    "SystemStepSource",
+    "TimedClusterEventSource",
+    "clamp_warmup",
+    "smoke_scale",
+]

@@ -1,0 +1,280 @@
+"""The unified discrete-event simulation kernel.
+
+Every loop in this repository that advances simulated time -- training
+steps, elasticity schedules, best-effort adjustment drains, serving
+arrivals and batch completions -- runs on ONE substrate: a
+:class:`SimClock` driven by an :class:`EventQueue` with deterministic
+``(time, priority, seq)`` ordering. The kernel replaces the four bespoke
+advance-of-time implementations the repo used to carry (the pipeline
+engine's internal step loop, the serving engine's arrival-vs-completion
+clock, the training/bench step loops, and per-step elasticity polling),
+so any mix of workloads composes on a shared clock (see
+``docs/simulation.md``).
+
+Ordering rules:
+
+* events fire in nondecreasing ``time`` order;
+* simultaneous events resolve by declared :class:`Priority` -- failures
+  before scheduling triggers before step execution before stream drains
+  (and, on the serving side, completions before arrivals before
+  dispatches);
+* events equal in both time and priority fire in scheduling order
+  (``seq`` is a monotone counter assigned by the queue), so a seeded
+  simulation is bit-reproducible.
+
+:class:`EventSource` (alias :class:`Actor`) is the protocol scenario
+components implement: :meth:`~EventSource.prime` receives the kernel and
+the owning :class:`~repro.sim.scenario.Scenario` and schedules the
+source's initial events; follow-up events are scheduled from callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.scenario import Scenario
+
+
+class Priority(IntEnum):
+    """Declared resolution order for simultaneous events (lower first).
+
+    The gaps leave room for scenario-specific levels without renumbering.
+    """
+
+    #: Cluster elasticity: failures/recoveries/speed changes apply before
+    #: anything else sees the pool.
+    FAILURE = 0
+    #: Scheduling/monitoring: triggers observe the (post-elasticity)
+    #: assignment and emit placement actions.
+    TRIGGER = 10
+    #: A batch finishing execution (serving) -- frees the server before
+    #: same-instant arrivals are admitted.
+    COMPLETION = 20
+    #: A request arriving (serving) -- admitted before any same-instant
+    #: dispatch forms its batch.
+    ARRIVAL = 30
+    #: Step/batch execution.
+    STEP = 40
+    #: Best-effort adjustment streams receiving transfer budget.
+    STREAM = 50
+
+
+@dataclass(order=True, frozen=True)
+class SimEvent:
+    """One scheduled callback, ordered by ``(time, priority, seq)``."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+    def key(self) -> tuple[float, int, int]:
+        """The stable ordering key (for traces and tests)."""
+        return (self.time, self.priority, self.seq)
+
+
+class SimClock:
+    """Monotone simulation clock (seconds or steps; the scenario decides)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward; moving backwards is a kernel bug."""
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards ({self._now} -> {time})"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now})"
+
+
+class EventQueue:
+    """Priority queue of :class:`SimEvent` with stable tie-breaking.
+
+    The queue assigns the ``seq`` component itself, so two events pushed
+    at the same ``(time, priority)`` always pop in push order regardless
+    of heap internals -- the property the determinism tests assert.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[SimEvent] = []
+        self._seq = itertools.count()
+
+    def push(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> SimEvent:
+        event = SimEvent(
+            time=float(time),
+            priority=int(priority),
+            seq=next(self._seq),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> SimEvent:
+        if not self._heap:
+            raise SimulationError("cannot pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> SimEvent:
+        if not self._heap:
+            raise SimulationError("cannot peek into an empty event queue")
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class SimKernel:
+    """The event loop: a :class:`SimClock` plus an :class:`EventQueue`.
+
+    Args:
+        record_trace: Keep a ``(time, priority, seq, label)`` tuple per
+            processed event in :attr:`trace`. Used by the determinism
+            tests (same-seed scenarios must produce byte-identical
+            traces); off by default to keep long simulations lean.
+    """
+
+    def __init__(self, record_trace: bool = False) -> None:
+        self._clock = SimClock()
+        self._queue = EventQueue()
+        self._processed = 0
+        self._trace: list[tuple[float, int, int, str]] | None = (
+            [] if record_trace else None
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._clock.now
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def queue(self) -> EventQueue:
+        return self._queue
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    @property
+    def trace(self) -> tuple[tuple[float, int, int, str], ...]:
+        """Processed-event log (empty unless ``record_trace`` was set)."""
+        return tuple(self._trace or ())
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = Priority.STEP,
+        label: str = "",
+    ) -> SimEvent:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._clock.now}"
+            )
+        return self._queue.push(time, priority, callback, label)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = Priority.STEP,
+        label: str = "",
+    ) -> SimEvent:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._clock.now + delay, priority, callback, label)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(
+        self, until: float | None = None, max_events: int = 5_000_000
+    ) -> float:
+        """Process events in ``(time, priority, seq)`` order.
+
+        Args:
+            until: Stop once the next event would fire after this time
+                (remaining events stay queued and the clock lands exactly
+                on ``until``). ``None`` drains the queue.
+            max_events: Guard against runaway simulations.
+
+        Returns:
+            The simulation time after the run.
+        """
+        while self._queue:
+            if self._processed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events"
+                )
+            if until is not None and self._queue.peek().time > until:
+                self._clock.advance_to(until)
+                return self._clock.now
+            event = self._queue.pop()
+            self._clock.advance_to(event.time)
+            self._processed += 1
+            if self._trace is not None:
+                self._trace.append(
+                    (event.time, event.priority, event.seq, event.label)
+                )
+            event.callback()
+        if until is not None:
+            self._clock.advance_to(max(self._clock.now, until))
+        return self._clock.now
+
+
+@runtime_checkable
+class EventSource(Protocol):
+    """A scenario component that schedules events on the shared kernel.
+
+    Sources own their state and result accumulators; the scenario only
+    wires them to one kernel. ``prime`` must schedule the source's
+    initial events (follow-ups are scheduled from inside callbacks).
+    """
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        """Schedule this source's initial events."""
+        ...  # pragma: no cover - protocol
+
+
+#: The paper-adjacent literature calls these actors; both names work.
+Actor = EventSource

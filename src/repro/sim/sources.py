@@ -1,0 +1,334 @@
+"""Event sources: the repo's workloads re-hosted on the shared kernel.
+
+Each class here turns one formerly-bespoke loop into an
+:class:`~repro.sim.kernel.EventSource`:
+
+* :class:`PipelineStepSource` / :class:`SystemStepSource` -- training
+  steps (the multi-layer engine's three step phases become TRIGGER /
+  STEP / STREAM events at the step's tick; single-layer systems become
+  plain STEP events);
+* :class:`ElasticitySource` -- the engine's step-indexed elasticity
+  schedule as FAILURE events, instead of per-step polling;
+* :class:`TimedClusterEventSource` -- cluster events keyed by simulated
+  *seconds*, which the old step-indexed loops could not express;
+* :class:`ServingSource` -- request arrival / batch dispatch / batch
+  completion on one clock (the "advance to next arrival vs. completion"
+  logic the serving engine used to hand-roll);
+* :class:`StreamBudgetSource` -- periodic bandwidth grants draining the
+  engines' best-effort adjustment streams, so background migration
+  traffic competes for bandwidth as an explicit budgeted event stream.
+
+Sources are duck-typed over the engine/trace/queue objects they drive
+(no imports from :mod:`repro.runtime` or :mod:`repro.serving`), so this
+module sits below both and either side can compose with the other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.exceptions import SimulationError
+from repro.sim.kernel import Priority, SimKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.scenario import Scenario
+
+
+def _horizon(scenario: "Scenario", limit: int) -> int:
+    """Steps a step-indexed source should schedule under ``scenario``."""
+    if scenario.duration is None:
+        return limit
+    return min(limit, int(scenario.duration))
+
+
+class PipelineStepSource:
+    """Multi-layer engine steps as kernel events.
+
+    Every step ``t`` of the trace schedules three events at tick ``t``:
+
+    * ``(t, TRIGGER)`` -- the schedule phase: each layer's Scheduler
+      observes its assignment and emits placement actions;
+    * ``(t, STEP)`` -- the execute phase: routing over the active
+      placements and the pipelined whole-transformer step;
+    * ``(t, STREAM)`` -- the commit phase: the best-effort adjustment
+      streams receive the step's duration as transfer budget and ready
+      actions commit.
+
+    Elasticity due at ``t`` fires first (``(t, FAILURE)``) when an
+    :class:`ElasticitySource` shares the kernel; the engine's own
+    just-in-time application covers it otherwise, so decision/metric
+    identity with the retired internal loop holds either way.
+
+    Attributes:
+        results: Per-step :class:`~repro.runtime.pipeline.PipelineStepResult`
+            objects, appended as each step's commit phase completes.
+    """
+
+    def __init__(self, engine, trace) -> None:
+        self._engine = engine
+        self._trace = trace
+        self.results: list = []
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        for t in range(_horizon(scenario, self._trace.num_steps)):
+            self._schedule_step(kernel, t)
+
+    def _schedule_step(self, kernel: SimKernel, t: int) -> None:
+        engine, trace = self._engine, self._trace
+        pending: list = []
+
+        def schedule_phase() -> None:
+            pending.append(engine.step_schedule(trace.step(t), t))
+
+        def execute_phase() -> None:
+            engine.step_execute(pending[0])
+
+        def commit_phase() -> None:
+            self.results.append(engine.step_commit(pending[0]))
+
+        kernel.schedule_at(
+            t, schedule_phase, Priority.TRIGGER, label=f"step[{t}].schedule"
+        )
+        kernel.schedule_at(
+            t, execute_phase, Priority.STEP, label=f"step[{t}].execute"
+        )
+        kernel.schedule_at(
+            t, commit_phase, Priority.STREAM, label=f"step[{t}].commit"
+        )
+
+
+class SystemStepSource:
+    """Single-layer :class:`~repro.baselines.base.MoESystem` steps.
+
+    The seed systems expose one atomic ``step``; each becomes a single
+    ``(t, STEP)`` event.
+    """
+
+    def __init__(self, system, trace) -> None:
+        self._system = system
+        self._trace = trace
+        self.results: list = []
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        system, trace = self._system, self._trace
+        for t in range(_horizon(scenario, trace.num_steps)):
+            kernel.schedule_at(
+                t,
+                lambda t=t: self.results.append(system.step(trace.step(t), t)),
+                Priority.STEP,
+                label=f"step[{t}]",
+            )
+
+
+class ElasticitySource:
+    """A step-indexed :class:`~repro.cluster.events.ElasticitySchedule`
+    as FAILURE events.
+
+    Schedules one ``(step, FAILURE)`` event per step that carries
+    elasticity events, calling the engine's idempotent
+    ``apply_elasticity`` -- the same entry point the engine's schedule
+    phase uses as a fallback, so the pool mutates exactly once per step
+    whichever event fires first.
+    """
+
+    def __init__(self, engine) -> None:
+        if getattr(engine, "elasticity", None) is None:
+            raise SimulationError(
+                "ElasticitySource requires an engine with an elasticity schedule"
+            )
+        self._engine = engine
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        engine = self._engine
+        steps = sorted({event.step for event in engine.elasticity.events})
+        for step in steps:
+            if scenario.duration is not None and step >= scenario.duration:
+                continue
+            kernel.schedule_at(
+                step,
+                lambda step=step: engine.apply_elasticity(step),
+                Priority.FAILURE,
+                label=f"elasticity[{step}]",
+            )
+
+
+class TimedClusterEventSource:
+    """Cluster events keyed by simulated seconds (not step indices).
+
+    The payoff of the shared kernel: a failure at ``t=1.25s`` lands
+    between whatever batches/steps surround that instant, instead of
+    being quantized to a step boundary. Events past the scenario horizon
+    never fire.
+
+    Attributes:
+        applied: ``(time, event)`` pairs actually delivered.
+    """
+
+    def __init__(self, engine, timed_events: Sequence[tuple[float, object]]) -> None:
+        self._engine = engine
+        self._timed_events = tuple(timed_events)
+        self.applied: list[tuple[float, object]] = []
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        engine = self._engine
+        for time, event in self._timed_events:
+            if scenario.duration is not None and time > scenario.duration:
+                continue
+
+            def deliver(time=time, event=event) -> None:
+                engine.apply_cluster_events((event,), when=time)
+                self.applied.append((time, event))
+
+            kernel.schedule_at(
+                time,
+                deliver,
+                Priority.FAILURE,
+                label=f"cluster[{event.kind}@{time:g}]",
+            )
+
+
+class ServingSource:
+    """Arrival / dispatch / completion events of one batch server.
+
+    Owns the "advance the clock to the next arrival vs. the in-flight
+    batch's completion" logic every serving loop needs: arrivals are
+    ARRIVAL events, the server dispatches the next FIFO micro-batch as a
+    STEP event whenever it is idle and the queue is non-empty, and the
+    batch's modelled duration schedules a COMPLETION event that frees
+    the server. Priorities guarantee the legacy loop's admission order:
+    at any instant, completions free the server first, then arrivals are
+    admitted, then the dispatch forms its batch.
+
+    Args:
+        requests: The stream (any order; sorted by ``(arrival, index)``).
+        queue: An :class:`~repro.serving.admission.AdmissionQueue`-shaped
+            object (``offer`` / ``next_batch`` / ``queued_requests``).
+        serve: ``serve(batch, now, batch_index) -> execute_seconds`` --
+            the model/engine half of the server; everything time lives
+            here.
+
+    Attributes:
+        rejected: Requests turned away by admission backpressure.
+        num_batches: Micro-batches dispatched so far.
+        last_completion: Simulated time the latest batch finished.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence,
+        queue,
+        serve: Callable[[tuple, float, int], float],
+    ) -> None:
+        self._requests = tuple(
+            sorted(requests, key=lambda r: (r.arrival, r.index))
+        )
+        self._queue = queue
+        self._serve = serve
+        self._kernel: SimKernel | None = None
+        self._busy = False
+        self._dispatch_scheduled = False
+        self.rejected: list = []
+        self.num_batches = 0
+        self.last_completion = 0.0
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        self._kernel = kernel
+        for request in self._requests:
+            kernel.schedule_at(
+                request.arrival,
+                lambda request=request: self._on_arrival(request),
+                Priority.ARRIVAL,
+                label=f"arrival[{request.index}]",
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, request) -> None:
+        if not self._queue.offer(request):
+            self.rejected.append(request)
+            return
+        self._maybe_dispatch()
+
+    def _maybe_dispatch(self) -> None:
+        if self._busy or self._dispatch_scheduled:
+            return
+        if not self._queue.queued_requests:
+            return
+        self._dispatch_scheduled = True
+        self._kernel.schedule_at(
+            self._kernel.now,
+            self._dispatch,
+            Priority.STEP,
+            label=f"dispatch[{self.num_batches}]",
+        )
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if self._busy or not self._queue.queued_requests:
+            return
+        batch = self._queue.next_batch()
+        execute = self._serve(batch, self._kernel.now, self.num_batches)
+        self._busy = True
+        self.num_batches += 1
+        self._kernel.schedule(
+            execute,
+            self._complete,
+            Priority.COMPLETION,
+            label=f"complete[{self.num_batches - 1}]",
+        )
+
+    def _complete(self) -> None:
+        self._busy = False
+        self.last_completion = self._kernel.now
+        self._maybe_dispatch()
+
+
+class StreamBudgetSource:
+    """Periodic bandwidth grants for the best-effort adjustment streams.
+
+    When a scenario runs the engine with in-step stream advancement
+    deferred (``stream_budget=0``), this source is what pays for queued
+    placement transfers: every ``interval`` simulated seconds it grants
+    ``bandwidth * interval`` seconds of stream time via the engine's
+    ``advance_streams``. A ``bandwidth`` below 1.0 models background
+    migration traffic competing with foreground work for the links.
+
+    Requires a scenario with a finite ``duration`` (grants are laid out
+    across the whole horizon up front).
+
+    Attributes:
+        grants: Budget events fired.
+        committed: Placement actions the grants have committed.
+    """
+
+    def __init__(self, engine, interval: float, bandwidth: float = 1.0) -> None:
+        if interval <= 0:
+            raise SimulationError(f"grant interval must be > 0, got {interval}")
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be > 0, got {bandwidth}")
+        self._engine = engine
+        self._interval = float(interval)
+        self._bandwidth = float(bandwidth)
+        self.grants = 0
+        self.committed = 0
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        if scenario.duration is None:
+            raise SimulationError(
+                "StreamBudgetSource requires a scenario with a finite duration"
+            )
+        budget = self._bandwidth * self._interval
+
+        def grant() -> None:
+            self.committed += self._engine.advance_streams(budget)
+            self.grants += 1
+
+        ticks = int(scenario.duration / self._interval)
+        for tick in range(1, ticks + 1):
+            kernel.schedule_at(
+                tick * self._interval,
+                grant,
+                Priority.STREAM,
+                label=f"budget[{tick}]",
+            )

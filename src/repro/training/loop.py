@@ -10,6 +10,14 @@ system.
 :class:`~repro.workload.trace.MultiLayerTrace`, where every MoE layer of
 the transformer schedules its own placement and the layers' All-to-All /
 dense-compute / adjustment phases overlap per the paper's pipeline.
+
+Both simulators are hosted on the unified discrete-event kernel
+(:mod:`repro.sim`): steps are event sources on the shared clock, so the
+same runs compose with elasticity schedules, serving traffic and stream
+budgets declared in one :class:`~repro.sim.scenario.Scenario`. Passing
+``kernel=False`` runs the retired inline loop instead; the two are
+decision- and metric-identical on seeded runs (asserted by
+``tests/test_sim_identity.py``).
 """
 
 from __future__ import annotations
@@ -27,6 +35,12 @@ from repro.baselines.swipe import SwipeSystem
 from repro.config import ClusterConfig, MoEModelConfig, WorkloadConfig
 from repro.exceptions import SimulationError
 from repro.runtime.pipeline import MultiLayerFlexMoEEngine, PipelineStepResult
+from repro.sim import (
+    ElasticitySource,
+    PipelineStepSource,
+    Scenario,
+    SystemStepSource,
+)
 from repro.training.convergence import ConvergenceModel
 from repro.training.metrics import (
     EfficiencyTrajectory,
@@ -114,6 +128,7 @@ def simulate_training(
     trace: RoutingTrace,
     moe_layers: int = 1,
     warmup: int = 0,
+    kernel: bool = True,
 ) -> TrainingRunResult:
     """Run ``system`` over every step of ``trace``.
 
@@ -124,6 +139,9 @@ def simulate_training(
         warmup: Initial steps executed but excluded from the aggregated
             results (cold-start transient; negligible in real multi-day
             runs but visible in short traces).
+        kernel: Host the steps on the shared discrete-event kernel (the
+            default); ``False`` runs the retired inline loop. Identical
+            results either way.
     """
     if moe_layers < 1:
         raise SimulationError("moe_layers must be >= 1")
@@ -131,7 +149,16 @@ def simulate_training(
         raise SimulationError(
             f"warmup must be in [0, {trace.num_steps}), got {warmup}"
         )
-    results = [system.step(trace.step(t), t) for t in range(trace.num_steps)]
+    if kernel:
+        source = SystemStepSource(system, trace)
+        Scenario(
+            name=f"train-{system.name}",
+            sources=(source,),
+            duration=trace.num_steps,
+        ).run()
+        results = source.results
+    else:
+        results = [system.step(trace.step(t), t) for t in range(trace.num_steps)]
     return TrainingRunResult(
         system=system.name,
         results=tuple(results[warmup:]),
@@ -196,6 +223,7 @@ def simulate_pipeline(
     engine: MultiLayerFlexMoEEngine,
     trace: MultiLayerTrace,
     warmup: int = 0,
+    kernel: bool = True,
 ) -> PipelineRunResult:
     """Run the multi-layer engine over every step of ``trace``.
 
@@ -204,6 +232,11 @@ def simulate_pipeline(
         trace: Per-layer per-step token assignments; its layer count must
             match the engine's.
         warmup: Initial steps executed but excluded from the aggregates.
+        kernel: Host the run on the shared discrete-event kernel (the
+            default): steps become TRIGGER/STEP/STREAM events and any
+            elasticity schedule becomes a FAILURE event source, instead
+            of being polled per step. ``False`` runs the retired inline
+            loop. Identical results either way.
     """
     if trace.num_layers != engine.num_moe_layers:
         raise SimulationError(
@@ -214,7 +247,19 @@ def simulate_pipeline(
         raise SimulationError(
             f"warmup must be in [0, {trace.num_steps}), got {warmup}"
         )
-    results = [engine.step(trace.step(t), t) for t in range(trace.num_steps)]
+    if kernel:
+        step_source = PipelineStepSource(engine, trace)
+        sources: tuple = (step_source,)
+        if getattr(engine, "elasticity", None) is not None:
+            sources = (ElasticitySource(engine), step_source)
+        Scenario(
+            name=f"pipeline-{engine.name}",
+            sources=sources,
+            duration=trace.num_steps,
+        ).run()
+        results = step_source.results
+    else:
+        results = [engine.step(trace.step(t), t) for t in range(trace.num_steps)]
     return PipelineRunResult(
         engine=engine.name,
         results=tuple(results[warmup:]),

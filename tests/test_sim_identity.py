@@ -1,0 +1,215 @@
+"""Kernel-vs-legacy identity: the re-hosted loops change nothing.
+
+The ISSUE-5 contract: hosting the training, faults and serving loops on
+the unified discrete-event kernel must preserve decision and metric
+identity with the retired inline loops on seeded runs -- same placements
+chosen, same per-step times, same per-request latencies.
+"""
+
+import numpy as np
+
+from repro.baselines.base import build_context
+from repro.baselines.flexmoe import FlexMoESystem
+from repro.bench.harness import cluster_for
+from repro.bench.serving import probe_batch_seconds
+from repro.cluster.events import ElasticitySchedule
+from repro.config import (
+    ClusterConfig,
+    FaultConfig,
+    MoEModelConfig,
+    SchedulerConfig,
+    WorkloadConfig,
+    auto_slots_per_gpu,
+)
+from repro.runtime.pipeline import build_engine
+from repro.serving.admission import BatchingConfig
+from repro.serving.baseline import build_flexmoe_serving, build_static_serving
+from repro.serving.engine import TopicRoutingModel
+from repro.serving.requests import RequestStream, RequestStreamConfig
+from repro.serving.slo import SLOConfig
+from repro.training.loop import simulate_pipeline, simulate_training
+from repro.workload.synthetic import (
+    DriftingRoutingGenerator,
+    make_multilayer_trace,
+)
+
+MODEL = MoEModelConfig(
+    name="sim-identity",
+    num_layers=4,
+    d_model=1024,
+    d_ffn=4096,
+    num_experts=16,
+)
+
+
+def _trace(num_steps=8, num_gpus=8, seed=0):
+    return make_multilayer_trace(
+        2,
+        MODEL.num_experts,
+        num_gpus,
+        WorkloadConfig(
+            tokens_per_step=16_384 * num_gpus, num_steps=num_steps, seed=seed
+        ),
+    )
+
+
+def _assert_pipeline_runs_identical(a, b):
+    np.testing.assert_array_equal(a.step_times, b.step_times)
+    assert a.final_placement_signatures == b.final_placement_signatures
+    assert tuple(r.layer_actions for r in a.results) == tuple(
+        r.layer_actions for r in b.results
+    )
+    np.testing.assert_array_equal(a.live_gpus_per_step, b.live_gpus_per_step)
+    assert a.event_log == b.event_log
+
+
+class TestRunPathIdentity:
+    def test_pipeline_kernel_matches_legacy_loop(self):
+        trace = _trace()
+        runs = {}
+        for kernel in (True, False):
+            engine = build_engine(cluster_for(8), MODEL, num_moe_layers=2, seed=0)
+            runs[kernel] = simulate_pipeline(engine, trace, kernel=kernel)
+        _assert_pipeline_runs_identical(runs[True], runs[False])
+
+    def test_single_layer_training_kernel_matches_legacy_loop(self):
+        workload = WorkloadConfig(tokens_per_step=65_536, num_steps=6, seed=1)
+        trace = DriftingRoutingGenerator(
+            MODEL.num_experts, 8, workload
+        ).generate()
+        runs = {}
+        for kernel in (True, False):
+            context = build_context(cluster_for(8), MODEL, seed=1)
+            runs[kernel] = simulate_training(
+                FlexMoESystem(context), trace, kernel=kernel
+            )
+        np.testing.assert_array_equal(
+            runs[True].step_times, runs[False].step_times
+        )
+        assert (
+            runs[True].mean_token_efficiency
+            == runs[False].mean_token_efficiency
+        )
+        assert runs[True].diverted_fraction == runs[False].diverted_fraction
+
+
+class TestFaultsPathIdentity:
+    def test_elastic_kernel_matches_legacy_loop(self):
+        """Failure + recovery + straggler via an ElasticitySource vs the
+        retired per-step polling: identical runs, identical event logs."""
+        schedule = ElasticitySchedule.from_fault_config(
+            FaultConfig(
+                num_failures=1,
+                failure_step=2,
+                recovery_steps=3,
+                num_stragglers=1,
+                straggler_factor=0.5,
+                straggler_step=1,
+                seed=0,
+            ),
+            num_gpus=8,
+        )
+        trace = _trace(num_steps=8)
+        slots = auto_slots_per_gpu(MODEL.num_experts, 8) + 2
+        runs = {}
+        for kernel in (True, False):
+            engine = build_engine(
+                cluster_for(8),
+                MODEL,
+                num_moe_layers=2,
+                scheduler_config=SchedulerConfig(
+                    speed_aware_balance=True, min_replicas=2,
+                    slots_per_gpu=slots,
+                ),
+                elasticity=schedule,
+                seed=0,
+            )
+            runs[kernel] = simulate_pipeline(engine, trace, kernel=kernel)
+        _assert_pipeline_runs_identical(runs[True], runs[False])
+        # The elasticity genuinely fired (this is not a vacuous identity).
+        assert len(runs[True].event_log) == len(schedule)
+
+
+def _build_servers(seed=0, with_faults=False):
+    num_layers, num_gpus, num_experts = 2, 8, 16
+    base = probe_batch_seconds(num_layers, num_gpus, num_experts, 4096, seed=seed)
+    slo = SLOConfig(
+        latency_target=8 * base,
+        trigger_p99=3 * base,
+        queue_limit_tokens=8192.0,
+    )
+    batching = BatchingConfig(max_batch_tokens=4096, max_queue_tokens=65_536)
+    rate = 0.9 * (4096 / base) / 512
+    requests = RequestStream(
+        RequestStreamConfig(
+            arrival="bursty",
+            rate_rps=rate,
+            num_requests=100,
+            mean_tokens=512,
+            max_tokens=4096,
+            num_topics=4,
+            seed=seed,
+        )
+    ).generate()
+    model = MoEModelConfig(
+        name="sim-identity-serving",
+        num_layers=2 * num_layers,
+        d_model=1024,
+        d_ffn=8192,
+        num_experts=num_experts,
+    )
+    routing = TopicRoutingModel(num_layers, num_experts, 4, skew=2.0, seed=seed)
+    elasticity = (
+        ElasticitySchedule.from_fault_config(
+            FaultConfig(
+                num_failures=1, failure_step=4, recovery_steps=6, seed=seed
+            ),
+            num_gpus,
+        )
+        if with_faults
+        else None
+    )
+    kwargs = dict(
+        num_moe_layers=num_layers,
+        routing=routing,
+        elasticity=elasticity,
+        skew=2.0,
+        seed=seed,
+    )
+    cluster = cluster_for(num_gpus)
+    return (
+        lambda: build_flexmoe_serving(
+            cluster, model, requests, batching, slo, **kwargs
+        ),
+        lambda: build_static_serving(
+            cluster, model, requests, batching, slo, **kwargs
+        ),
+    )
+
+
+class TestServePathIdentity:
+    def _assert_reports_identical(self, a, b):
+        assert a.records == b.records
+        assert a.rejected == b.rejected
+        assert a.num_batches == b.num_batches
+        assert a.sim_duration == b.sim_duration
+        assert a.placement_actions == b.placement_actions
+
+    def test_dynamic_server_kernel_matches_legacy_loop(self):
+        build_flex, _ = _build_servers(seed=0)
+        kernel_report = build_flex().run(kernel=True)
+        legacy_report = build_flex().run(kernel=False)
+        self._assert_reports_identical(kernel_report, legacy_report)
+        assert kernel_report.num_batches > 0
+
+    def test_static_server_kernel_matches_legacy_loop(self):
+        _, build_static = _build_servers(seed=1)
+        self._assert_reports_identical(
+            build_static().run(kernel=True), build_static().run(kernel=False)
+        )
+
+    def test_serving_with_faults_kernel_matches_legacy_loop(self):
+        build_flex, _ = _build_servers(seed=0, with_faults=True)
+        kernel_report = build_flex().run(kernel=True)
+        legacy_report = build_flex().run(kernel=False)
+        self._assert_reports_identical(kernel_report, legacy_report)

@@ -1,0 +1,232 @@
+"""Unit and property tests for the unified discrete-event kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim import (
+    EventQueue,
+    Priority,
+    Scenario,
+    SimClock,
+    SimKernel,
+    clamp_warmup,
+    smoke_scale,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance_to(2.5)
+        assert clock.now == 2.5
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(2.0)
+
+
+class TestEventQueue:
+    def test_orders_by_time_then_priority_then_seq(self):
+        queue = EventQueue()
+        queue.push(2.0, Priority.FAILURE, lambda: None, "late-failure")
+        queue.push(1.0, Priority.STEP, lambda: None, "early-step")
+        queue.push(1.0, Priority.FAILURE, lambda: None, "early-failure")
+        queue.push(1.0, Priority.STEP, lambda: None, "early-step-2")
+        labels = [queue.pop().label for _ in range(4)]
+        assert labels == [
+            "early-failure", "early-step", "early-step-2", "late-failure",
+        ]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_declared_priority_order(self):
+        # The ordering contract the scenario sources rely on: failures
+        # before scheduling triggers before step execution before stream
+        # drains; completions before arrivals before dispatches.
+        assert Priority.FAILURE < Priority.TRIGGER < Priority.STEP
+        assert (
+            Priority.COMPLETION
+            < Priority.ARRIVAL
+            < Priority.STEP
+            < Priority.STREAM
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.floats(0.0, 100.0, allow_nan=False),
+            st.sampled_from(list(Priority)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_queue_pops_stable_sorted_order(events):
+    """Pop order == stable sort by (time, priority, insertion order)."""
+    queue = EventQueue()
+    for index, (time, priority) in enumerate(events):
+        queue.push(time, priority, lambda: None, label=str(index))
+    popped = [queue.pop() for _ in range(len(events))]
+    expected = sorted(
+        range(len(events)), key=lambda i: (events[i][0], int(events[i][1]), i)
+    )
+    assert [int(ev.label) for ev in popped] == expected
+
+
+class TestSimKernel:
+    def test_simultaneous_events_resolve_by_priority(self):
+        kernel = SimKernel()
+        seen = []
+        # Scheduled in the WRONG order on purpose.
+        kernel.schedule_at(1.0, lambda: seen.append("step"), Priority.STEP)
+        kernel.schedule_at(1.0, lambda: seen.append("trigger"), Priority.TRIGGER)
+        kernel.schedule_at(1.0, lambda: seen.append("failure"), Priority.FAILURE)
+        kernel.run()
+        assert seen == ["failure", "trigger", "step"]
+
+    def test_cannot_schedule_into_past(self):
+        kernel = SimKernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-1.0, lambda: None)
+        kernel.schedule_at(2.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(1.0, lambda: None)
+
+    def test_run_until_leaves_future_events(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule_at(1.0, lambda: seen.append("early"))
+        kernel.schedule_at(10.0, lambda: seen.append("late"))
+        assert kernel.run(until=5.0) == 5.0
+        assert seen == ["early"]
+        assert len(kernel) == 1
+        kernel.run()
+        assert seen == ["early", "late"]
+
+    def test_callbacks_schedule_followups(self):
+        kernel = SimKernel()
+        seen = []
+
+        def first():
+            seen.append("first")
+            kernel.schedule(1.0, lambda: seen.append("second"))
+
+        kernel.schedule_at(1.0, first)
+        assert kernel.run() == 2.0
+        assert seen == ["first", "second"]
+
+    def test_event_budget_guard(self):
+        kernel = SimKernel()
+
+        def recur():
+            kernel.schedule(1.0, recur)
+
+        kernel.schedule(1.0, recur)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=50)
+
+    def test_trace_records_processed_events(self):
+        kernel = SimKernel(record_trace=True)
+        kernel.schedule_at(1.0, lambda: None, Priority.STEP, label="b")
+        kernel.schedule_at(1.0, lambda: None, Priority.FAILURE, label="a")
+        kernel.run()
+        assert [entry[3] for entry in kernel.trace] == ["a", "b"]
+        assert kernel.processed_events == 2
+
+
+class _SeededSource:
+    """Toy source: schedules seeded-jittered events across the horizon."""
+
+    def prime(self, kernel, scenario):
+        rng = np.random.default_rng(scenario.seed)
+        for index, time in enumerate(
+            rng.uniform(0.0, scenario.duration, size=25)
+        ):
+            kernel.schedule_at(
+                time,
+                lambda: None,
+                priority=int(rng.integers(0, 50)),
+                label=f"jitter[{index}]",
+            )
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="", sources=(_SeededSource(),))
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", sources=())
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", sources=(_SeededSource(),), duration=0)
+
+    def test_same_seed_scenarios_identical_event_orderings(self):
+        """The kernel determinism guarantee: byte-identical traces."""
+        def trace(seed):
+            scenario = Scenario(
+                name="det", sources=(_SeededSource(),), duration=10.0, seed=seed
+            )
+            return scenario.run(record_trace=True).trace
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_run_honours_duration(self):
+        scenario = Scenario(
+            name="horizon", sources=(_SeededSource(),), duration=10.0
+        )
+        kernel = scenario.run()
+        assert kernel.now == 10.0
+
+    def test_smoke_scales_duration(self):
+        scenario = Scenario(
+            name="s", sources=(_SeededSource(),), duration=100.0
+        )
+        assert scenario.smoke().duration == 25.0
+        assert scenario.smoke(floor=80).duration == 80.0
+        unbounded = Scenario(name="s", sources=(_SeededSource(),))
+        assert unbounded.smoke().duration is None
+
+
+class TestSmokeHelpers:
+    def test_smoke_scale_ints_and_floats(self):
+        assert smoke_scale(80, floor=25) == 25
+        assert smoke_scale(400, floor=10) == 100
+        assert isinstance(smoke_scale(400, floor=10), int)
+        assert smoke_scale(100.0, floor=8) == 25.0
+        with pytest.raises(ConfigurationError):
+            smoke_scale(-1)
+
+    def test_smoke_scale_never_enlarges(self):
+        """A run already at CI scale must not grow under --smoke (a
+        seconds-unit horizon would otherwise blow up against the
+        step-unit default floor)."""
+        assert smoke_scale(10, floor=150) == 10
+        assert smoke_scale(0.0115, floor=8) == 0.0115
+        scenario = Scenario(
+            name="tiny", sources=(_SeededSource(),), duration=0.5
+        )
+        assert scenario.smoke().duration == 0.5
+
+    def test_experiment_scale_smoke_is_the_shared_policy(self):
+        from repro.bench.harness import FULL, SMOKE
+
+        assert SMOKE == FULL.smoke()
+        assert SMOKE.num_steps == 25
+        assert SMOKE.warmup == 8
+        assert SMOKE.quality_steps == 150
+        assert SMOKE.seeds == 1
+
+    def test_clamp_warmup(self):
+        assert clamp_warmup(5, 10) == 5
+        assert clamp_warmup(10, 5) == 4
+        assert clamp_warmup(3, 0) == 0

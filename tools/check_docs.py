@@ -11,11 +11,13 @@ Four guarantees, all enforced in CI (see CONTRIBUTING.md):
 2. The README quickstart snippet (fenced python blocks between the
    ``<!-- quickstart:begin -->`` / ``<!-- quickstart:end -->`` markers)
    actually runs against the current API.
-3. docs/architecture.md and the package tree stay in sync: every
-   ``repro.*`` module the doc references must exist under ``src/repro/``,
-   and every top-level module/subpackage of ``src/repro/`` must be
-   mentioned in the doc (so new subsystems cannot land undocumented and
-   deleted ones cannot haunt the docs).
+3. The docs and the package tree stay in sync: every ``repro.*`` module
+   referenced by README.md or any docs/*.md (architecture.md,
+   simulation.md, serving.md, ...) must exist under ``src/repro/``, and
+   every top-level module/subpackage of ``src/repro/`` must be mentioned
+   in docs/architecture.md's package map (so new subsystems -- e.g.
+   ``src/repro/sim/`` -- cannot land undocumented and deleted ones
+   cannot haunt the docs).
 4. Repo hygiene: no ``__pycache__`` directory or compiled-bytecode file
    (``*.pyc`` / ``*.pyo``) is tracked by git, so they can never be
    (re-)committed (``.gitignore`` keeps them out of the index;
@@ -118,18 +120,25 @@ def _module_exists(parts: list[str]) -> bool:
     return True
 
 
+def check_module_refs(path: Path) -> list[str]:
+    """Every ``repro.*`` reference in ``path`` resolves under src/repro/."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for ref in sorted(set(MODULE_REF_RE.findall(text))):
+        if not _module_exists(ref.split(".")[1:]):
+            problems.append(
+                f"{path.name}: references {ref}, which does not exist "
+                "under src/repro/"
+            )
+    return problems
+
+
 def check_module_sync(arch: Path) -> list[str]:
     """Two-way sync between docs/architecture.md and src/repro/."""
     if not arch.exists():
         return [f"{arch.name}: missing (expected at docs/architecture.md)"]
     text = arch.read_text(encoding="utf-8")
-    problems = []
-    for ref in sorted(set(MODULE_REF_RE.findall(text))):
-        if not _module_exists(ref.split(".")[1:]):
-            problems.append(
-                f"{arch.name}: references {ref}, which does not exist "
-                "under src/repro/"
-            )
+    problems = check_module_refs(arch)
     src = REPO / "src" / "repro"
     for child in sorted(src.iterdir()):
         if child.name.startswith("_"):
@@ -184,6 +193,10 @@ def main() -> int:
         problems.extend(check_encoding(path))
     problems.extend(check_quickstart(REPO / "README.md"))
     problems.extend(check_module_sync(REPO / "docs" / "architecture.md"))
+    arch = REPO / "docs" / "architecture.md"
+    for path in doc_paths():
+        if path != arch:  # arch already checked (two-way) above
+            problems.extend(check_module_refs(path))
     problems.extend(check_no_tracked_bytecode())
     if problems:
         print("docs check FAILED:")
