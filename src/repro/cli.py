@@ -662,11 +662,33 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         f"{kernel['tolerance_pct']:.0f}%), simulation "
         f"{'identical' if kernel['simulated_results_match'] else 'DIVERGED'}"
     )
+    serving_events = report["serving_events"]
+    print(
+        f"serving   events {serving_events['events_per_sec']:8.0f} events/s "
+        f"vs reference {serving_events['reference_events_per_sec']:8.0f} "
+        f"events/s ({serving_events['speedup']:.1f}x, floor "
+        f"{serving_events['events_per_sec_floor']:.0f}), results "
+        f"{'identical' if serving_events['simulated_results_match'] else 'DIVERGED'}"
+    )
+    kernel_events = report["kernel_events"]
+    print(
+        f"drain     events {kernel_events['events_per_sec']:8.0f} events/s "
+        f"vs serial {kernel_events['serial_events_per_sec']:8.0f} events/s "
+        f"({kernel_events['speedup']:.1f}x, floor "
+        f"{kernel_events['events_per_sec_floor']:.0f}), trace "
+        f"{'identical' if kernel_events['trace_identity'] else 'DIVERGED'}"
+    )
     memo = planner["memo"]
     print(
         f"memo      hits {int(memo['hits'])}  misses {int(memo['misses'])}  "
-        f"hit rate {memo['hit_rate']:.2f}"
+        f"hit rate {memo['hit_rate']:.4f}"
     )
+    for phase, stats in sorted(memo.get("phases", {}).items()):
+        print(
+            f"  phase {phase:<10} hits {int(stats['hits'])}  "
+            f"misses {int(stats['misses'])}  "
+            f"hit rate {stats['hit_rate']:.4f}"
+        )
     print(
         f"delta fallbacks to full recompute: {int(report['total_fallbacks'])}"
     )

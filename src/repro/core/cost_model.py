@@ -285,13 +285,33 @@ class MoECostModel:
 class MemoizedStepCost:
     """LRU memo of modelled step times keyed on (placement, load vector).
 
-    The Policy Maker's what-if search evaluates hundreds of candidate
-    placements per scheduling round, and across rounds of the same step —
-    and often across adjacent steps, since the assignment drifts smoothly —
-    it keeps re-deriving the cost of identical (assignment, placement)
+    The scheduling stack's what-if searches evaluate hundreds of candidate
+    placements per round, and across rounds of the same step — and often
+    across phases of the same step, since the Migrate pass re-prices the
+    exact configuration the Policy Maker just settled on — they keep
+    re-deriving the cost of identical (assignment, placement)
     configurations. Routing is deterministic, so the modelled step time is
     a pure function of the two; this wrapper routes and evaluates on a
     miss and replays the cached value on a hit.
+
+    Two layers of keying keep hits cheap:
+
+    * the *content* key ``(state_version, placement signature, load
+      digest)`` is exact and shared across placement objects (a planner's
+      working copy hits entries cached from another copy with the same
+      counts);
+    * a *token* shortcut maps ``(id(placement),``
+      :attr:`~repro.core.placement.Placement.state_token`\\ ``)`` to the
+      content signature, so repeated queries on a placement that mutated
+      and rolled back in between (the trial-journal workflow) never
+      re-digest the count matrix. The token is globally unique per
+      content state, which makes the shortcut exact — unlike the
+      per-object ``version`` counter, which trial rollbacks can alias.
+
+    Entries priced against an older device pool are keyed out by the
+    cluster-state version; :meth:`invalidate` is the explicit hook for
+    callers that change pricing inputs the key cannot see (e.g. swapping
+    the profile under the cost model).
 
     Args:
         cost_model: The underlying (uncached) cost model.
@@ -299,6 +319,10 @@ class MemoizedStepCost:
             fresh :class:`~repro.core.router.FlexibleTokenRouter`.
         capacity: Maximum number of cached configurations (LRU eviction).
     """
+
+    #: Bound on the token-shortcut map (cleared wholesale when exceeded;
+    #: entries are tiny, this only guards pathological churn).
+    TOKEN_CACHE_LIMIT = 65_536
 
     def __init__(
         self,
@@ -314,6 +338,8 @@ class MemoizedStepCost:
         self._router = router or FlexibleTokenRouter()
         self._capacity = capacity
         self._cache: OrderedDict[tuple, float] = OrderedDict()
+        self._signature_by_token: dict[tuple[int, int], bytes] = {}
+        self._phase_stats: dict[str, list[int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -329,8 +355,20 @@ class MemoizedStepCost:
     def __len__(self) -> int:
         return len(self._cache)
 
-    def clear(self) -> None:
+    def invalidate(self) -> None:
+        """Drop every cached cost (hit/miss accounting is kept).
+
+        The explicit staleness hook: the cluster-state version already
+        keys out entries after elasticity events, but callers that change
+        pricing inputs the key cannot observe must invalidate here
+        instead of relying on silent re-digestion.
+        """
         self._cache.clear()
+        self._signature_by_token.clear()
+
+    def clear(self) -> None:
+        self.invalidate()
+        self._phase_stats.clear()
         self.hits = 0
         self.misses = 0
 
@@ -347,19 +385,35 @@ class MemoizedStepCost:
         digest = hashlib.blake2b(loads.tobytes(), digest_size=16).digest()
         return (loads.shape, digest)
 
+    def _placement_signature(self, placement: Placement) -> bytes:
+        """Content signature via the token shortcut (no re-digest on a
+        placement that mutated and rolled back since the last query)."""
+        token = (id(placement), placement.state_token)
+        signature = self._signature_by_token.get(token)
+        if signature is None:
+            signature = placement.signature()
+            if len(self._signature_by_token) >= self.TOKEN_CACHE_LIMIT:
+                self._signature_by_token.clear()
+            self._signature_by_token[token] = signature
+        return signature
+
     def step_time(
         self,
         assignment: np.ndarray,
         placement: Placement,
         assignment_key: tuple | None = None,
+        phase: str | None = None,
     ) -> float:
         """Modelled step time of ``assignment`` under ``placement``.
 
         Identical to routing the assignment fractionally and asking the
         cost model, but cached on the (placement, load-vector) pair.
         ``assignment_key`` (from :meth:`assignment_key`) skips re-hashing
-        the loads; the placement side of the key uses the placement's
-        cached signature, so hits on unchanged configurations are O(1).
+        the loads; the placement side of the key resolves through the
+        state-token shortcut, so hits on unchanged *or rolled-back*
+        configurations are O(1). ``phase`` attributes the hit/miss to a
+        named caller in :meth:`stats` (e.g. ``"policy"`` / ``"migration"``
+        when the Scheduler shares one memo across both search phases).
         """
         if assignment_key is None:
             assignment_key = self.assignment_key(assignment)
@@ -367,13 +421,14 @@ class MemoizedStepCost:
         # pool that an elasticity event has since changed.
         key = (
             self._cost_model.state_version,
-            placement.signature(),
+            self._placement_signature(placement),
             assignment_key,
         )
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             self.hits += 1
+            self._count_phase(phase, hit=True)
             return cached
         routes = self._router.route_fractional(assignment, placement)
         value = self._cost_model.step_time(routes, placement)
@@ -381,13 +436,35 @@ class MemoizedStepCost:
         if len(self._cache) > self._capacity:
             self._cache.popitem(last=False)
         self.misses += 1
+        self._count_phase(phase, hit=False)
         return value
 
-    def stats(self) -> dict[str, float]:
+    def _count_phase(self, phase: str | None, hit: bool) -> None:
+        if phase is None:
+            return
+        counters = self._phase_stats.get(phase)
+        if counters is None:
+            counters = self._phase_stats[phase] = [0, 0]
+        counters[0 if hit else 1] += 1
+
+    def phase_stats(self) -> dict[str, dict[str, float]]:
+        """Per-phase hit/miss accounting (phases that ever queried)."""
+        out: dict[str, dict[str, float]] = {}
+        for phase, (hits, misses) in sorted(self._phase_stats.items()):
+            total = hits + misses
+            out[phase] = {
+                "hits": float(hits),
+                "misses": float(misses),
+                "hit_rate": hits / total if total else 0.0,
+            }
+        return out
+
+    def stats(self) -> dict[str, object]:
         """Hit/miss accounting for bench reporting."""
         return {
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": self.hit_rate,
             "entries": float(len(self._cache)),
+            "phases": self.phase_stats(),
         }

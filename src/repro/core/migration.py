@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.cluster.profiler import ClusterProfile
 from repro.cluster.topology import ClusterTopology
-from repro.core.cost_model import MoECostModel
+from repro.core.cost_model import MemoizedStepCost, MoECostModel
 from repro.core.delta import DeltaStepCost
 from repro.core.placement import Placement
 from repro.core.primitives import Expand, Migrate, PlacementAction, Shrink
@@ -53,6 +53,12 @@ class MigrationPlanner:
             :class:`~repro.core.delta.DeltaStepCost` and the placement
             trial journal (default). ``False`` restores the
             copy-per-candidate full-recompute reference path.
+        memo: Optional shared :class:`MemoizedStepCost`. When provided,
+            reference-path evaluations (notably the per-pass baseline
+            ``step_time(assignment, placement)``, which re-prices the
+            exact configuration the Policy Maker just scored) go through
+            the shared cache under the ``"migration"`` phase instead of
+            re-routing and re-pricing from scratch.
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class MigrationPlanner:
         max_candidates: int = 6,
         min_replicas: int = 1,
         use_delta: bool = True,
+        memo: MemoizedStepCost | None = None,
     ) -> None:
         if max_moves < 0:
             raise SchedulingError("max_moves must be >= 0")
@@ -78,6 +85,7 @@ class MigrationPlanner:
         self._use_delta = use_delta
         self._delta = DeltaStepCost(cost_model) if use_delta else None
         self._router = FlexibleTokenRouter()
+        self._memo = memo
 
     @property
     def delta(self) -> DeltaStepCost | None:
@@ -93,6 +101,8 @@ class MigrationPlanner:
         return float(self._cost_model.sync_times(placement).sum())
 
     def step_time(self, assignment: np.ndarray, placement: Placement) -> float:
+        if self._memo is not None:
+            return self._memo.step_time(assignment, placement, phase="migration")
         routes = self._router.route_fractional(assignment, placement)
         return self._cost_model.step_time(routes, placement)
 

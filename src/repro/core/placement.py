@@ -16,6 +16,7 @@ A :class:`Placement` therefore reduces to an integer count matrix
 
 from __future__ import annotations
 
+import itertools
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping
 
@@ -36,6 +37,11 @@ class Placement:
         slots_per_gpu: vExpert slots available on each GPU.
     """
 
+    #: Process-wide counter backing :attr:`state_token`. Every construction
+    #: and every mutation draws a fresh value, so a token value is never
+    #: shared by two distinct placement contents of the same object.
+    _state_counter = itertools.count(1)
+
     def __init__(self, counts: np.ndarray, slots_per_gpu: int) -> None:
         arr = np.asarray(counts)
         if arr.ndim != 2:
@@ -45,8 +51,10 @@ class Placement:
         self._counts = arr.astype(np.int64, copy=True)
         self._slots_per_gpu = int(slots_per_gpu)
         self._version = 0
+        self._state_token = next(Placement._state_counter)
         self._signature_cache: bytes | None = None
         self._journal: list[tuple[int, int, int]] | None = None
+        self._trial_state_tokens: dict[TrialToken, int] = {}
         self.validate()
 
     # ------------------------------------------------------------------
@@ -167,6 +175,22 @@ class Placement:
         """
         return self._version
 
+    @property
+    def state_token(self) -> int:
+        """Globally unique identifier of this object's *current* content.
+
+        Unlike :attr:`version` (a per-object counter, so two different
+        mutations branching from the same rolled-back state can share a
+        version number while holding different counts), the token is drawn
+        from a process-wide monotone counter on construction and on every
+        mutation, and :meth:`rollback` restores the token captured when
+        its trial began. A ``(id(placement), state_token)`` pair therefore
+        identifies placement content unambiguously for the object's
+        lifetime -- the property the step-cost memo's O(1) re-key relies
+        on (:class:`~repro.core.cost_model.MemoizedStepCost`).
+        """
+        return self._state_token
+
     def row(self, expert: int) -> np.ndarray:
         """Copy of one expert's per-GPU vExpert counts."""
         self._check_expert(expert)
@@ -218,6 +242,7 @@ class Placement:
         if self._journal is not None:
             self._journal.extend(cells)
         self._version += 1
+        self._state_token = next(Placement._state_counter)
         self._signature_cache = None
 
     def add_vexpert(self, expert: int, gpu: int) -> None:
@@ -287,7 +312,9 @@ class Placement:
         """
         if self._journal is None:
             self._journal = []
-        return (len(self._journal), self._version)
+        token = (len(self._journal), self._version)
+        self._trial_state_tokens[token] = self._state_token
+        return token
 
     def rollback(self, token: TrialToken) -> None:
         """Undo every mutation recorded after ``token`` was issued.
@@ -303,9 +330,16 @@ class Placement:
         while len(journal) > depth:
             expert, gpu, delta = journal.pop()
             self._counts[expert, gpu] -= delta
+        self._version = version
+        # Restore the state token captured when the trial began (a forged
+        # token that passed the depth check falls back to a fresh token,
+        # which is always safe -- it can only cause a cache miss).
+        self._state_token = self._trial_state_tokens.pop(
+            token, None
+        ) or next(Placement._state_counter)
         if depth == 0:
             self._journal = None
-        self._version = version
+            self._trial_state_tokens.clear()
         self._signature_cache = None
 
     @contextmanager

@@ -133,7 +133,7 @@ class PolicyMaker:
         the (placement, load-vector) pair, so repeated what-if queries over
         identical configurations replay the cached cost.
         """
-        return self._memo.step_time(assignment, placement)
+        return self._memo.step_time(assignment, placement, phase="policy")
 
     def make_plan(
         self, assignment: np.ndarray, placement: Placement
@@ -146,7 +146,8 @@ class PolicyMaker:
         else:
             assignment_key = MemoizedStepCost.assignment_key(assignment)
             t0 = self._memo.step_time(
-                assignment, placement, assignment_key=assignment_key
+                assignment, placement, assignment_key=assignment_key,
+                phase="policy",
             )
         expert_loads = assignment.sum(axis=1).astype(float)
         replicas = placement.replica_counts().astype(float)
@@ -282,7 +283,8 @@ class PolicyMaker:
             expand = Expand(expert=e0, gpu=gpu, source_gpu=source)
             expand.apply(trial)
             t1 = self._memo.step_time(
-                assignment, trial, assignment_key=assignment_key
+                assignment, trial, assignment_key=assignment_key,
+                phase="policy",
             )
             adjustment = self._cost_model.adjustment_cost([shrink, expand])
             effective = t1 + self._amortized(adjustment)

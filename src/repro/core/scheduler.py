@@ -95,6 +95,7 @@ class Scheduler:
             topology,
             min_replicas=config.min_replicas,
             use_delta=config.delta_evaluation,
+            memo=policy.memo,
         )
         self._history: list[SchedulingOutcome] = []
 

@@ -19,6 +19,8 @@ import dataclasses
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.serving.requests import Request
 
@@ -56,13 +58,29 @@ class AdmissionQueue:
 
     Args:
         config: Batch and backpressure bounds.
+        collect_meta: Maintain parallel arrival/tokens/topic columns for
+            each admitted request and expose the popped batch's columns
+            as numpy arrays (:attr:`last_batch_arrivals`,
+            :attr:`last_batch_tokens`, :attr:`last_batch_topics`). The
+            vectorized serving bookkeeping reads these instead of
+            looping over the batch's request objects; admission
+            decisions are unchanged.
     """
 
-    def __init__(self, config: BatchingConfig) -> None:
+    def __init__(
+        self, config: BatchingConfig, collect_meta: bool = False
+    ) -> None:
         self._config = config
         self._queue: deque[Request] = deque()
         self._queued_tokens = 0
         self._rejected = 0
+        self._collect_meta = bool(collect_meta)
+        self._meta: deque[tuple[float, int, int]] | None = (
+            deque() if collect_meta else None
+        )
+        self.last_batch_arrivals: np.ndarray | None = None
+        self.last_batch_tokens: np.ndarray | None = None
+        self.last_batch_topics: np.ndarray | None = None
 
     @property
     def config(self) -> BatchingConfig:
@@ -101,6 +119,8 @@ class AdmissionQueue:
             return False
         self._queue.append(request)
         self._queued_tokens += request.tokens
+        if self._meta is not None:
+            self._meta.append((request.arrival, request.tokens, request.topic))
         return True
 
     def next_batch(self) -> tuple[Request, ...]:
@@ -119,6 +139,13 @@ class AdmissionQueue:
             batch.append(self._queue.popleft())
             tokens += head.tokens
         self._queued_tokens -= tokens
+        if self._meta is not None and batch:
+            meta = np.array(
+                [self._meta.popleft() for _ in batch], dtype=float
+            )
+            self.last_batch_arrivals = meta[:, 0]
+            self.last_batch_tokens = meta[:, 1].astype(np.int64)
+            self.last_batch_topics = meta[:, 2].astype(np.int64)
         return tuple(batch)
 
     def __repr__(self) -> str:

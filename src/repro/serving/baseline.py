@@ -78,6 +78,7 @@ def build_flexmoe_serving(
     elasticity: ElasticitySchedule | None = None,
     skew: float = 1.3,
     seed: int = 0,
+    vectorized: bool = True,
 ) -> ServingEngine:
     """The dynamic server: SLO-triggered placement over the live pool."""
     engine = build_engine(
@@ -97,7 +98,8 @@ def build_flexmoe_serving(
     )
     engine.name = "FlexMoE-serving"
     return ServingEngine(
-        engine, requests, batching, slo, routing=routing, skew=skew, seed=seed
+        engine, requests, batching, slo, routing=routing, skew=skew,
+        seed=seed, vectorized=vectorized,
     )
 
 
@@ -112,6 +114,7 @@ def build_static_serving(
     elasticity: ElasticitySchedule | None = None,
     skew: float = 1.3,
     seed: int = 0,
+    vectorized: bool = True,
 ) -> StaticServing:
     """The frozen-placement baseline on the identical substrate."""
     engine = build_engine(
@@ -128,5 +131,6 @@ def build_static_serving(
     )
     engine.name = "StaticServing"
     return StaticServing(
-        engine, requests, batching, slo, routing=routing, skew=skew, seed=seed
+        engine, requests, batching, slo, routing=routing, skew=skew,
+        seed=seed, vectorized=vectorized,
     )

@@ -118,7 +118,21 @@ class TopicRoutingModel:
         if not batch:
             raise SimulationError("batch must not be empty")
         tokens = np.array([r.tokens for r in batch], dtype=float)
-        topics = [r.topic % self.num_topics for r in batch]
+        topics = np.array([r.topic for r in batch]) % self.num_topics
+        return self.batch_probs_arrays(layer, tokens, topics)
+
+    def batch_probs_arrays(
+        self, layer: int, tokens: np.ndarray, topics: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`batch_probs` from precomputed token/topic columns.
+
+        ``topics`` must already be reduced modulo :attr:`num_topics`.
+        The vectorized serving path computes the columns once per batch
+        (from the admission queue's metadata) instead of walking the
+        request objects once per layer.
+        """
+        if tokens.size == 0:
+            raise SimulationError("batch must not be empty")
         mixed = tokens @ self._profiles[layer, topics]
         return mixed / mixed.sum()
 
@@ -146,6 +160,12 @@ class ServingEngine:
             small sample of the live distribution, so scheduling on the
             raw batch chases sampling noise; ``1.0`` disables smoothing
             (schedulers see the raw batch, training-style).
+        vectorized: Use the numpy batch-accounting hot path (columnar
+            latency bookkeeping, batched latency-window ingestion, lazy
+            bulk admission). ``False`` retains the per-request loops --
+            the reference the identity tests compare against; both
+            settings produce numerically identical
+            :class:`~repro.serving.slo.ServingReport` objects.
     """
 
     name = "FlexMoE-serving"
@@ -160,6 +180,7 @@ class ServingEngine:
         skew: float = 1.3,
         seed: int = 0,
         popularity_smoothing: float = 0.3,
+        vectorized: bool = True,
     ) -> None:
         if not 0 < popularity_smoothing <= 1:
             raise ConfigurationError(
@@ -190,6 +211,7 @@ class ServingEngine:
         self._slo = slo
         self._rng = np.random.default_rng(seed)
         self._smoothing = popularity_smoothing
+        self._vectorized = bool(vectorized)
         self._demand_estimate: np.ndarray | None = None
         self._report: ServingReport | None = None
 
@@ -216,7 +238,12 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Batch-to-assignment translation
     # ------------------------------------------------------------------
-    def _batch_assignments(self, batch: Sequence[Request]) -> np.ndarray:
+    def _batch_assignments(
+        self,
+        batch: Sequence[Request],
+        tokens: np.ndarray | None = None,
+        topics: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-layer gate assignments ``(layers, experts, gpus)`` of a batch.
 
         The batch's tokens shard evenly over the source GPUs (the serving
@@ -224,13 +251,22 @@ class ServingEngine:
         multinomially by the batch's blended expert distribution, layer
         by layer. Dead devices' shards are re-sharded by the wrapped
         engine exactly as in training.
+
+        ``tokens``/``topics`` are the batch's precomputed columns
+        (``topics`` reduced modulo the routing model's vocabulary); when
+        omitted they are derived from the request objects. The per-GPU
+        multinomial loop is retained either way -- it consumes the RNG
+        stream draw by draw, and the two paths must stay bit-identical.
         """
-        total = sum(r.tokens for r in batch)
+        if tokens is None or topics is None:
+            tokens = np.array([r.tokens for r in batch], dtype=float)
+            topics = np.array([r.topic for r in batch]) % self._routing.num_topics
+        total = int(tokens.sum())
         per_gpu = total // self._num_gpus
         remainder = total - per_gpu * self._num_gpus
         layers = []
         for layer in range(self._engine.num_moe_layers):
-            probs = self._routing.batch_probs(layer, batch)
+            probs = self._routing.batch_probs_arrays(layer, tokens, topics)
             assignment = np.zeros(
                 (self._routing.num_experts, self._num_gpus), dtype=np.int64
             )
@@ -286,7 +322,9 @@ class ServingEngine:
                     cache.acquire(group)
 
     def event_source(
-        self, stream_budget: float | None = None
+        self,
+        stream_budget: float | None = None,
+        lazy_admission: bool = False,
     ) -> "_ServingRun":
         """The server as a kernel event source (arrival/dispatch/completion).
 
@@ -303,9 +341,20 @@ class ServingEngine:
                 each batch its own duration, the classic behaviour;
                 ``0.0`` defers all commits to an external
                 :class:`~repro.sim.sources.StreamBudgetSource`.
+            lazy_admission: Use the lazy bulk-admission source (arrivals
+                admitted in bulk at completions rather than as
+                per-request events). Only safe when the scenario runs to
+                drain: a finite ``duration`` horizon can truncate the
+                run before the completion that would have admitted
+                pending arrivals, so composed scenarios default to the
+                eager per-request source. Either way the serve-side
+                bookkeeping stays columnar when the engine is
+                vectorized.
         """
         self._warm_up()
-        return _ServingRun(self, stream_budget=stream_budget)
+        return _ServingRun(
+            self, stream_budget=stream_budget, lazy_admission=lazy_admission
+        )
 
     def run(self, kernel: bool = True) -> ServingReport:
         """Serve the whole stream and return the latency/goodput report.
@@ -316,7 +365,7 @@ class ServingEngine:
         both paths produce identical reports on seeded runs.
         """
         if kernel:
-            run = self.event_source()
+            run = self.event_source(lazy_admission=self._vectorized)
             Scenario(
                 name=f"serve-{type(self).name}",
                 sources=(run.source,),
@@ -368,17 +417,33 @@ class _ServingRun:
         engine: ServingEngine,
         stream_budget: float | None = None,
         legacy: bool = False,
+        lazy_admission: bool = False,
     ) -> None:
         self._server = engine
         self._stream_budget = stream_budget
-        self.queue = AdmissionQueue(engine._batching)
+        self._vectorized = engine._vectorized
+        self.queue = AdmissionQueue(
+            engine._batching, collect_meta=self._vectorized
+        )
         self.window = LatencyWindow(engine.slo.window)
         self.requests = engine._requests
         self.records: list[RequestRecord] = []
         self.actions = 0
+        # Columnar accounting (vectorized path): start/queue/execute
+        # float64 columns grown geometrically, plus the served requests
+        # in completion order. RequestRecord objects are materialized
+        # lazily at report time -- the hot loop never allocates them.
+        self._served: list[Request] = []
+        self._count = 0
+        self._columns = np.empty((3, 256), dtype=float)
         self.source: ServingSource | None = None
         if not legacy:
-            self.source = ServingSource(self.requests, self.queue, self.serve)
+            self.source = ServingSource(
+                self.requests,
+                self.queue,
+                self.serve,
+                vectorized=lazy_admission,
+            )
 
     def serve(self, batch: Sequence[Request], now: float, index: int) -> float:
         """Serve one micro-batch at simulated time ``now``; returns its
@@ -388,7 +453,14 @@ class _ServingRun:
             p99_latency=self.window.p99(),
             queue_tokens=float(self.queue.queued_tokens),
         )
-        assignments = server._batch_assignments(batch)
+        if self._vectorized:
+            tokens = self.queue.last_batch_tokens.astype(float)
+            topics = self.queue.last_batch_topics % server._routing.num_topics
+            assignments = server._batch_assignments(
+                batch, tokens=tokens, topics=topics
+            )
+        else:
+            assignments = server._batch_assignments(batch)
         pending = server._engine.step_schedule(
             assignments,
             index,
@@ -399,17 +471,61 @@ class _ServingRun:
             pending, stream_budget=self._stream_budget
         )
         execute = result.step_time
-        for request in batch:
-            record = RequestRecord(
-                request=request,
-                start=now,
-                queue_time=now - request.arrival,
-                execute_time=execute,
-            )
-            self.records.append(record)
-            self.window.observe(record.latency)
+        if self._vectorized:
+            queue_col = now - self.queue.last_batch_arrivals
+            self._append_columns(batch, now, queue_col, execute)
+            self.window.observe_batch(queue_col + execute)
+        else:
+            for request in batch:
+                record = RequestRecord(
+                    request=request,
+                    start=now,
+                    queue_time=now - request.arrival,
+                    execute_time=execute,
+                )
+                self.records.append(record)
+                self.window.observe(record.latency)
         self.actions += result.scheduling_actions
         return execute
+
+    def _append_columns(
+        self,
+        batch: Sequence[Request],
+        now: float,
+        queue_col: np.ndarray,
+        execute: float,
+    ) -> None:
+        n = len(batch)
+        capacity = self._columns.shape[1]
+        if self._count + n > capacity:
+            grown = np.empty(
+                (3, max(2 * capacity, self._count + n)), dtype=float
+            )
+            grown[:, : self._count] = self._columns[:, : self._count]
+            self._columns = grown
+        sl = slice(self._count, self._count + n)
+        self._columns[0, sl] = now
+        self._columns[1, sl] = queue_col
+        self._columns[2, sl] = execute
+        self._count += n
+        self._served.extend(batch)
+
+    def _materialized_records(self) -> tuple[RequestRecord, ...]:
+        """Build the RequestRecord tuple from the columns.
+
+        ``now - arrival`` and ``queue + execute`` are the same IEEE
+        double operations the per-request path performs, so the records
+        are byte-identical to the retained loop's.
+        """
+        starts = self._columns[0, : self._count].tolist()
+        queues = self._columns[1, : self._count].tolist()
+        execs = self._columns[2, : self._count].tolist()
+        return tuple(
+            RequestRecord(
+                request=request, start=s, queue_time=q, execute_time=x
+            )
+            for request, s, q, x in zip(self._served, starts, queues, execs)
+        )
 
     def report(self) -> ServingReport:
         """Assemble the report from the kernel source's final state."""
@@ -425,9 +541,14 @@ class _ServingRun:
         num_batches: int,
         sim_duration: float,
     ) -> ServingReport:
+        records = (
+            self._materialized_records()
+            if self._vectorized
+            else tuple(self.records)
+        )
         return ServingReport(
             engine=type(self._server).name,
-            records=tuple(self.records),
+            records=records,
             rejected=rejected,
             slo=self._server.slo,
             num_batches=num_batches,

@@ -18,7 +18,6 @@ under an SLO*. This module holds the accounting:
 from __future__ import annotations
 
 import dataclasses
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -105,24 +104,80 @@ class RequestRecord:
 
 
 class LatencyWindow:
-    """Rolling window of recent request latencies (the trigger's p99)."""
+    """Rolling window of recent request latencies (the trigger's p99).
+
+    Backed by a fixed numpy ring buffer rather than a deque: batch
+    completions ingest a whole latency column in one
+    :meth:`observe_batch` call, and :meth:`p99` reads the live slice
+    without materializing an intermediate list. The percentile is
+    order-independent, so the ring's rotation never changes the value a
+    deque-backed window would report.
+    """
 
     def __init__(self, window: int) -> None:
         if window < 1:
             raise ConfigurationError("window must be >= 1")
-        self._values: deque[float] = deque(maxlen=window)
+        self._window = int(window)
+        self._buffer = np.zeros(self._window, dtype=float)
+        self._size = 0  # valid entries (saturates at window)
+        self._pos = 0  # next write position
 
     def observe(self, latency: float) -> None:
-        self._values.append(float(latency))
+        self._buffer[self._pos] = latency
+        self._pos = (self._pos + 1) % self._window
+        if self._size < self._window:
+            self._size += 1
+
+    def observe_batch(self, latencies: np.ndarray) -> None:
+        """Ingest a batch of latencies (oldest first) in O(batch) numpy.
+
+        Equivalent to calling :meth:`observe` on each element in order:
+        only the trailing ``window`` elements can remain visible, so the
+        rest never need to touch the buffer.
+        """
+        values = np.asarray(latencies, dtype=float).ravel()
+        if values.size >= self._window:
+            tail = values[values.size - self._window:]
+            self._buffer[: self._window] = tail
+            # A full overwrite leaves the ring positioned at 0 -- the
+            # buffer holds exactly the last `window` observations.
+            self._pos = 0
+            self._size = self._window
+            return
+        first = min(values.size, self._window - self._pos)
+        self._buffer[self._pos: self._pos + first] = values[:first]
+        if first < values.size:
+            self._buffer[: values.size - first] = values[first:]
+        self._pos = (self._pos + values.size) % self._window
+        self._size = min(self._window, self._size + values.size)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._size
 
     def p99(self) -> float | None:
-        """Rolling p99, or ``None`` before any request completed."""
-        if not self._values:
+        """Rolling p99, or ``None`` before any request completed.
+
+        Computed via :func:`np.partition` plus numpy's own linear
+        interpolation formula (``_lerp`` switches direction at
+        ``gamma >= 0.5``), which is bit-identical to
+        ``np.percentile(..., 99.0)`` while skipping its generic
+        dispatch machinery -- this probe runs once per micro-batch on
+        the serving hot path.
+        """
+        if not self._size:
             return None
-        return float(np.percentile(np.fromiter(self._values, float), 99.0))
+        n = self._size
+        virtual = (99.0 / 100.0) * (n - 1)
+        lo = int(virtual)
+        gamma = virtual - lo
+        hi = min(lo + 1, n - 1)
+        part = np.partition(self._buffer[:n], (lo, hi))
+        a = float(part[lo])
+        b = float(part[hi])
+        diff = b - a
+        if gamma >= 0.5:
+            return b - diff * (1.0 - gamma)
+        return a + diff * gamma
 
 
 @dataclass(frozen=True)

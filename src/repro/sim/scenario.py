@@ -89,14 +89,18 @@ class Scenario:
         self,
         record_trace: bool = False,
         max_events: int = 5_000_000,
+        batch_drain: bool = True,
     ) -> SimKernel:
         """Execute the scenario on a fresh kernel and return it.
 
         Sources accumulate their own results; read them off the source
         objects after the run. The returned kernel exposes the final
         clock, processed-event count and (when requested) the trace.
+        ``batch_drain=False`` runs the kernel's one-at-a-time reference
+        drain (see :class:`~repro.sim.kernel.SimKernel`) -- dispatch
+        order is identical; only the heap traffic differs.
         """
-        kernel = SimKernel(record_trace=record_trace)
+        kernel = SimKernel(record_trace=record_trace, batch_drain=batch_drain)
         for source in self.sources:
             source.prime(kernel, self)
         kernel.run(until=self.duration, max_events=max_events)

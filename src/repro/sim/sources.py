@@ -206,6 +206,19 @@ class ServingSource:
         serve: ``serve(batch, now, batch_index) -> execute_seconds`` --
             the model/engine half of the server; everything time lives
             here.
+        vectorized: Lazy bulk admission: instead of one ARRIVAL heap
+            event per request, arrivals are admitted in bulk (in arrival
+            order) whenever the server reaches a decision point -- a
+            batch completion, or a single "wake" event at the next
+            arrival when the server idles on an empty queue. The server
+            is a single FIFO consumer, so no dispatch can intervene
+            between two admissions of a busy period and the queue and
+            rejection evolution is identical to the per-request mode;
+            only the event count (and therefore the heap traffic)
+            shrinks. ``False`` (default) keeps the per-request ARRIVAL
+            events -- required when the source composes into a scenario
+            with a finite ``duration`` horizon, where bulk admission at
+            a completion past the horizon would never run.
 
     Attributes:
         rejected: Requests turned away by admission backpressure.
@@ -218,6 +231,7 @@ class ServingSource:
         requests: Sequence,
         queue,
         serve: Callable[[tuple, float, int], float],
+        vectorized: bool = False,
     ) -> None:
         self._requests = tuple(
             sorted(requests, key=lambda r: (r.arrival, r.index))
@@ -227,12 +241,18 @@ class ServingSource:
         self._kernel: SimKernel | None = None
         self._busy = False
         self._dispatch_scheduled = False
+        self._vectorized = bool(vectorized)
+        self._next = 0  # admission cursor into _requests (vectorized mode)
         self.rejected: list = []
         self.num_batches = 0
         self.last_completion = 0.0
 
     def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
         self._kernel = kernel
+        if self._vectorized:
+            if self._requests:
+                self._schedule_wake()
+            return
         for request in self._requests:
             kernel.schedule_at(
                 request.arrival,
@@ -249,6 +269,37 @@ class ServingSource:
             self.rejected.append(request)
             return
         self._maybe_dispatch()
+
+    def _schedule_wake(self) -> None:
+        """One ARRIVAL event at the next pending request's arrival time.
+
+        Only scheduled while the server idles on an empty queue, so at
+        most one wake is ever outstanding."""
+        self._kernel.schedule_at(
+            self._requests[self._next].arrival,
+            self._wake,
+            Priority.ARRIVAL,
+            label=f"admit[{self._next}]",
+        )
+
+    def _wake(self) -> None:
+        self._admit_due()
+        self._maybe_dispatch()
+
+    def _admit_due(self) -> None:
+        """Admit every not-yet-offered request with ``arrival <= now``,
+        in arrival order -- exactly the offers the per-request mode
+        would have made since the last decision point."""
+        now = self._kernel.now
+        requests = self._requests
+        index = self._next
+        n = len(requests)
+        while index < n and requests[index].arrival <= now:
+            request = requests[index]
+            if not self._queue.offer(request):
+                self.rejected.append(request)
+            index += 1
+        self._next = index
 
     def _maybe_dispatch(self) -> None:
         if self._busy or self._dispatch_scheduled:
@@ -281,7 +332,17 @@ class ServingSource:
     def _complete(self) -> None:
         self._busy = False
         self.last_completion = self._kernel.now
+        if self._vectorized:
+            self._admit_due()
         self._maybe_dispatch()
+        if (
+            self._vectorized
+            and not self._busy
+            and not self._dispatch_scheduled
+            and not self._queue.queued_requests
+            and self._next < len(self._requests)
+        ):
+            self._schedule_wake()
 
 
 class StreamBudgetSource:

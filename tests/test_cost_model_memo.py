@@ -129,3 +129,177 @@ def test_policy_decisions_unchanged_by_memo(cost_model, rng):
     warm = warm_policy.make_plan(assignment, placement.copy())
     assert cold.actions == warm.actions
     assert cold.time_after == warm.time_after
+
+
+def test_invalidate_drops_entries_but_keeps_accounting(cost_model, rng):
+    memo = MemoizedStepCost(cost_model)
+    placement = Placement.balanced(8, 4, 2)
+    assignment = rng.integers(0, 1000, (8, 4))
+    first = memo.step_time(assignment, placement)
+    memo.invalidate()
+    assert len(memo) == 0
+    # The next query re-derives (a miss), and must equal the dropped
+    # value bit-for-bit -- nothing priced differently.
+    assert memo.step_time(assignment, placement) == first
+    assert memo.misses == 2 and memo.hits == 0
+
+
+def test_phase_stats_attribute_hits_to_callers(cost_model, rng):
+    memo = MemoizedStepCost(cost_model)
+    placement = Placement.balanced(8, 4, 2)
+    assignment = rng.integers(0, 1000, (8, 4))
+    memo.step_time(assignment, placement, phase="policy")
+    memo.step_time(assignment, placement, phase="migration")
+    memo.step_time(assignment, placement, phase="migration")
+    stats = memo.phase_stats()
+    assert stats["policy"] == {"hits": 0.0, "misses": 1.0, "hit_rate": 0.0}
+    assert stats["migration"]["hits"] == 2.0
+    assert stats["migration"]["hit_rate"] == 1.0
+    assert memo.stats()["phases"] == stats
+    # Unattributed queries count globally but under no phase.
+    memo.step_time(assignment, placement)
+    assert memo.hits == 3
+    assert memo.phase_stats() == stats
+
+
+def test_memo_exact_across_trial_rollback(cost_model, rng):
+    """The trial-journal workflow: mutate, price, roll back, re-price.
+    Every cached answer must equal the freshly derived one."""
+    router = FlexibleTokenRouter()
+    memo = MemoizedStepCost(cost_model, router)
+    placement = Placement.balanced(8, 4, 4)
+    assignment = rng.integers(0, 3000, (8, 4))
+
+    def uncached(p):
+        return cost_model.step_time(
+            router.route_fractional(assignment, p), p
+        )
+
+    base = memo.step_time(assignment, placement)
+    assert base == uncached(placement)
+    token = placement.begin_trial()
+    gpu = placement.gpus_of(0)[0]
+    placement.remove_vexpert(0, gpu)
+    placement.add_vexpert(1, gpu)
+    trial_cost = memo.step_time(assignment, placement)
+    assert trial_cost == uncached(placement)
+    placement.rollback(token)
+    # Back at the base content: the memo must hit AND return the exact
+    # original value, not the trial's.
+    assert memo.step_time(assignment, placement) == base
+    assert memo.hits >= 1
+
+
+def test_state_token_distinguishes_aliased_versions(cost_model, rng):
+    """Two different mutations branching from the same version both land
+    on version v+1 -- the per-object version counter aliases. The state
+    token must not, or the memo would replay the wrong branch's cost."""
+    assignment = rng.integers(0, 3000, (8, 4))
+    memo = MemoizedStepCost(cost_model)
+    placement = Placement.balanced(8, 4, 4)
+
+    token = placement.begin_trial()
+    gpu0 = placement.gpus_of(0)[0]
+    placement.remove_vexpert(0, gpu0)
+    branch_a_version = placement.version
+    cost_a = memo.step_time(assignment, placement)
+    placement.rollback(token)
+
+    token = placement.begin_trial()
+    gpu7 = placement.gpus_of(7)[0]
+    placement.remove_vexpert(7, gpu7)
+    # Same version number as branch A, different content.
+    assert placement.version == branch_a_version
+    cost_b = memo.step_time(assignment, placement)
+    placement.rollback(token)
+
+    router = FlexibleTokenRouter()
+    assert cost_b == cost_model.step_time(
+        router.route_fractional(assignment, placement_after(placement, 7)),
+        placement_after(placement, 7),
+    )
+    assert cost_a != cost_b
+
+
+def placement_after(placement, expert):
+    """A copy of ``placement`` with one replica of ``expert`` removed
+    (the content branch B priced)."""
+    clone = placement.copy()
+    clone.remove_vexpert(expert, clone.gpus_of(expert)[0])
+    return clone
+
+
+def test_shared_memo_hits_on_migration_baseline(cost_model, rng):
+    """The Scheduler shares one memo between the Policy Maker and the
+    Migration Planner, so the planner's reference-path baseline -- the
+    exact configuration the policy just scored -- is a cache hit."""
+    from repro.cluster.topology import ClusterTopology
+    from repro.core.migration import MigrationPlanner
+
+    topology = ClusterTopology(CLUSTER)
+    policy = PolicyMaker(cost_model, use_delta=False)
+    planner = MigrationPlanner(
+        cost_model, topology, use_delta=False, memo=policy.memo
+    )
+    placement = Placement.balanced(8, 4, 4)
+    assignment = rng.integers(0, 5000, (8, 4))
+    policy.make_plan(assignment, placement)
+    before = policy.memo.hits
+    planner.step_time(assignment, placement)
+    assert policy.memo.hits == before + 1
+    phases = policy.memo.phase_stats()
+    assert phases["migration"]["hits"] == 1.0
+
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove", "move", "trial", "rollback"]),
+            st.integers(0, 7),  # expert
+            st.integers(0, 3),  # gpu / destination
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    seed=st.integers(0, 2**16),
+)
+def test_memo_exact_under_random_mutation_and_rollback(cost_model, ops, seed):
+    """Property: after ANY sequence of placement mutations, trials and
+    rollbacks, the memo returns the bit-exact uncached cost -- hits
+    included (the state-token shortcut never replays a stale entry)."""
+    rng = np.random.default_rng(seed)
+    router = FlexibleTokenRouter()
+    memo = MemoizedStepCost(cost_model, router)
+    placement = Placement.balanced(8, 4, 4)
+    assignment = rng.integers(0, 3000, (8, 4))
+    tokens = []
+    for op, expert, gpu in ops:
+        try:
+            if op == "add":
+                placement.add_vexpert(expert, gpu)
+            elif op == "remove":
+                placement.remove_vexpert(expert, gpu)
+            elif op == "move":
+                src = placement.gpus_of(expert)[0]
+                placement.move_vexpert(expert, src, gpu)
+            elif op == "trial":
+                tokens.append(placement.begin_trial())
+            elif op == "rollback" and tokens:
+                placement.rollback(tokens.pop())
+        except Exception:
+            # Illegal mutations (full GPU, last replica, no journal...)
+            # are not the property under test; the memo must stay exact
+            # regardless of which ops succeeded.
+            pass
+        uncached = cost_model.step_time(
+            router.route_fractional(assignment, placement), placement
+        )
+        assert memo.step_time(assignment, placement) == uncached

@@ -255,3 +255,112 @@ class TestSLOPrimitives:
         summary = report.summary()
         assert summary["requests_rejected"] == 1.0
         assert summary["p99_latency_s"] == pytest.approx(report.p99)
+
+
+class TestLatencyWindowBatchIngestion:
+    def test_observe_batch_equals_sequential_observe(self):
+        rng = np.random.default_rng(0)
+        for window in (1, 3, 64):
+            for sizes in ((5,), (2, 7, 1), (100,), (64,), (63, 2)):
+                sequential = LatencyWindow(window)
+                batched = LatencyWindow(window)
+                for size in sizes:
+                    chunk = rng.exponential(size=size)
+                    for value in chunk:
+                        sequential.observe(float(value))
+                    batched.observe_batch(chunk)
+                    assert len(batched) == len(sequential)
+                    assert batched.p99() == sequential.p99()
+
+    def test_p99_is_bit_identical_to_np_percentile(self):
+        rng = np.random.default_rng(1)
+        for count in (1, 2, 5, 63, 64, 200):
+            window = LatencyWindow(64)
+            values = rng.exponential(size=count)
+            window.observe_batch(values)
+            live = values[-64:]
+            assert window.p99() == float(np.percentile(live, 99.0))
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    window=st.integers(1, 16),
+    chunks=st.lists(
+        st.lists(
+            st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False),
+            min_size=0,
+            max_size=40,
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_observe_batch_property(window, chunks):
+    """Property: batched ingestion is indistinguishable from per-element
+    observation for any chunking, including chunks larger than the
+    window (full-overwrite path) and wrap-arounds."""
+    sequential = LatencyWindow(window)
+    batched = LatencyWindow(window)
+    for chunk in chunks:
+        for value in chunk:
+            sequential.observe(value)
+        batched.observe_batch(np.array(chunk, dtype=float))
+        assert len(batched) == len(sequential)
+        assert batched.p99() == sequential.p99()
+
+
+class TestAdmissionQueueMeta:
+    def _requests(self, specs):
+        return [
+            Request(index=i, arrival=a, tokens=t, topic=p)
+            for i, (a, t, p) in enumerate(specs)
+        ]
+
+    def test_collect_meta_columns_mirror_popped_batch(self):
+        from repro.serving.admission import AdmissionQueue
+
+        queue = AdmissionQueue(
+            BatchingConfig(max_batch_tokens=300), collect_meta=True
+        )
+        requests = self._requests(
+            [(0.0, 100, 1), (0.5, 150, 2), (1.0, 200, 0), (1.5, 50, 3)]
+        )
+        for request in requests:
+            assert queue.offer(request)
+        batch = queue.next_batch()
+        assert batch == tuple(requests[:2])
+        np.testing.assert_array_equal(
+            queue.last_batch_arrivals, [0.0, 0.5]
+        )
+        np.testing.assert_array_equal(queue.last_batch_tokens, [100, 150])
+        np.testing.assert_array_equal(queue.last_batch_topics, [1, 2])
+        # Second pop: the columns advance with the queue.
+        batch = queue.next_batch()
+        assert batch == tuple(requests[2:])
+        np.testing.assert_array_equal(queue.last_batch_tokens, [200, 50])
+
+    def test_rejected_requests_never_enter_meta(self):
+        from repro.serving.admission import AdmissionQueue
+
+        queue = AdmissionQueue(
+            BatchingConfig(max_batch_tokens=100, max_queue_tokens=150),
+            collect_meta=True,
+        )
+        admitted = self._requests([(0.0, 100, 0)])[0]
+        rejected = Request(index=1, arrival=0.1, tokens=100, topic=1)
+        assert queue.offer(admitted)
+        assert not queue.offer(rejected)
+        queue.next_batch()
+        np.testing.assert_array_equal(queue.last_batch_tokens, [100])
+        np.testing.assert_array_equal(queue.last_batch_topics, [0])
+
+    def test_meta_disabled_by_default(self):
+        from repro.serving.admission import AdmissionQueue
+
+        queue = AdmissionQueue(BatchingConfig(max_batch_tokens=100))
+        queue.offer(self._requests([(0.0, 50, 0)])[0])
+        queue.next_batch()
+        assert queue.last_batch_tokens is None

@@ -230,3 +230,159 @@ class TestSmokeHelpers:
         assert clamp_warmup(5, 10) == 5
         assert clamp_warmup(10, 5) == 4
         assert clamp_warmup(3, 0) == 0
+
+
+def _paired_kernels(record_trace=True):
+    return (
+        SimKernel(record_trace=record_trace, batch_drain=True),
+        SimKernel(record_trace=record_trace, batch_drain=False),
+    )
+
+
+class TestBatchDrain:
+    """The batched same-timestamp drain is trace-identical to the
+    one-at-a-time reference drain (the ISSUE-6 kernel contract)."""
+
+    def test_tied_group_dispatches_in_priority_then_seq_order(self):
+        for kernel in _paired_kernels():
+            seen = []
+            kernel.schedule_at(1.0, lambda: seen.append("step"), Priority.STEP)
+            kernel.schedule_at(
+                1.0, lambda: seen.append("fail"), Priority.FAILURE
+            )
+            kernel.schedule_at(
+                1.0, lambda: seen.append("arrive"), Priority.ARRIVAL
+            )
+            kernel.schedule_at(1.0, lambda: seen.append("step2"), Priority.STEP)
+            kernel.run()
+            assert seen == ["fail", "arrive", "step", "step2"]
+
+    def test_reschedule_at_current_time_joins_the_group(self):
+        """The dispatch-at-now idiom: an event scheduled at the current
+        time from inside a callback fires within the same timestamp, in
+        (priority, seq) position, under both drains."""
+        runs = {}
+        for kernel in _paired_kernels():
+            seen = []
+
+            def arrival(kernel=kernel, seen=seen):
+                seen.append("arrival")
+                kernel.schedule_at(
+                    kernel.now,
+                    lambda: seen.append("dispatch"),
+                    Priority.STEP,
+                )
+
+            def completion(kernel=kernel, seen=seen):
+                seen.append("completion")
+
+            kernel.schedule_at(2.0, arrival, Priority.ARRIVAL)
+            kernel.schedule_at(2.0, completion, Priority.COMPLETION)
+            kernel.schedule_at(2.0, lambda: seen.append("stream"), Priority.STREAM)
+            kernel.run()
+            runs[kernel._batch_drain] = (seen, kernel.trace)
+        assert runs[True][0] == ["completion", "arrival", "dispatch", "stream"]
+        assert runs[True][0] == runs[False][0]
+        assert runs[True][1] == runs[False][1]
+
+    def test_budget_exhaustion_mid_group_restores_remainder(self):
+        kernel = SimKernel(batch_drain=True)
+        seen = []
+        for i in range(6):
+            kernel.schedule_at(1.0, lambda i=i: seen.append(i), Priority.STEP)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=3)
+        assert seen == [0, 1, 2]
+        # The undispatched half of the group went back to the heap and a
+        # resumed run drains it in the original order.
+        assert len(kernel) == 3
+        kernel.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    def test_callback_exception_restores_undispatched_events(self):
+        kernel = SimKernel(batch_drain=True)
+        seen = []
+
+        def boom():
+            seen.append("boom")
+            kernel.schedule_at(kernel.now, lambda: seen.append("buffered"))
+            raise RuntimeError("callback failed")
+
+        kernel.schedule_at(1.0, boom, Priority.FAILURE)
+        kernel.schedule_at(1.0, lambda: seen.append("tied"), Priority.STEP)
+        with pytest.raises(RuntimeError):
+            kernel.run()
+        # Both the tied group remainder AND the same-time event the
+        # failing callback buffered survive for a resumed run, which
+        # drains them in (priority, seq) order: "tied" (seq 1) before
+        # the later-scheduled "buffered" (seq 2) -- exactly what the
+        # serial drain would have done.
+        assert len(kernel) == 2
+        kernel.run()
+        assert seen == ["boom", "tied", "buffered"]
+
+    def test_run_until_leaves_future_events(self):
+        for kernel in _paired_kernels(record_trace=False):
+            seen = []
+            kernel.schedule_at(1.0, lambda: seen.append("a"))
+            kernel.schedule_at(1.0, lambda: seen.append("b"), Priority.FAILURE)
+            kernel.schedule_at(10.0, lambda: seen.append("late"))
+            assert kernel.run(until=5.0) == 5.0
+            assert seen == ["b", "a"]
+            assert len(kernel) == 1
+
+    def test_singleton_groups_match_serial(self):
+        runs = {}
+        for kernel in _paired_kernels():
+            def tick(t, kernel=kernel):
+                if t < 5.0:
+                    kernel.schedule(1.0, lambda: tick(t + 1.0))
+
+            kernel.schedule_at(0.0, lambda: tick(0.0))
+            kernel.run()
+            runs[kernel._batch_drain] = kernel.trace
+        assert runs[True] == runs[False]
+        assert len(runs[True]) == 6
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            # A tiny time domain forces heavy timestamp collisions.
+            st.sampled_from([0.0, 1.0, 2.0]),
+            st.sampled_from(list(Priority)),
+            # Whether the callback re-schedules a follow-up at now.
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_batch_drain_trace_matches_serial(events):
+    """Property: for random tie-heavy schedules whose callbacks may
+    re-schedule at the current instant, the batched drain dispatches the
+    exact (time, priority, seq) sequence of the reference drain."""
+    traces = {}
+    for drain in (True, False):
+        kernel = SimKernel(record_trace=True, batch_drain=drain)
+
+        def make(index, reschedule):
+            def callback():
+                if reschedule:
+                    kernel.schedule_at(
+                        kernel.now,
+                        lambda: None,
+                        Priority.STREAM,
+                        label=f"follow-{index}",
+                    )
+
+            return callback
+
+        for index, (time, priority, reschedule) in enumerate(events):
+            kernel.schedule_at(
+                time, make(index, reschedule), priority, label=str(index)
+            )
+        kernel.run()
+        traces[drain] = kernel.trace
+    assert traces[True] == traces[False]
