@@ -24,8 +24,10 @@ self-contained Python system:
 * :mod:`repro.training` — end-to-end simulated training loops, efficiency
   metrics and the convergence model;
 * :mod:`repro.serving` — the online serving subsystem: SLO-aware request
-  streams, admission/micro-batching, and latency-triggered dynamic
-  placement (``docs/serving.md``);
+  streams, admission/micro-batching, latency-triggered dynamic
+  placement, and multi-tenant serving (SLO classes, weighted-fair
+  priority admission with quotas, preemption of in-flight batches,
+  per-class attainment + fairness reporting; ``docs/serving.md``);
 * :mod:`repro.bench` — the experiment harness regenerating every table and
   figure of the paper's evaluation, plus the faults, perf and serving
   comparison suites.
@@ -56,6 +58,13 @@ see ``docs/serving.md``)::
     from repro import serving_simulation
     result = serving_simulation(num_requests=250)
     print(result.summary())
+
+Multi-tenant serving (SLO classes, priority admission, preemption;
+``python -m repro serve --multi-tenant``)::
+
+    from repro.bench.serving import multitenant_run
+    result = multitenant_run(num_requests=200)
+    print(result.ok, result.summary()["interactive_attainment"])
 
 Composed scenarios on the shared kernel clock (serving + wall-clock
 elasticity + metered migration budget; see ``docs/simulation.md``)::

@@ -18,6 +18,13 @@ request may wait a few batches, not a meltdown".
 The report's ``ok`` verdict (and the inverse ``regression`` marker CI
 greps for) requires the dynamic server to beat the static one on BOTH
 p99 latency and goodput.
+
+:func:`multitenant_run` (``python -m repro serve --multi-tenant``,
+``BENCH_multitenant.json``) is the multi-tenant variant: an interactive
+tenant and two batch tenants contend for one expert pool, and FlexMoE
+placement with priority admission + preemption is compared against
+static placement with a single global FIFO on interactive-class SLO
+attainment and Jain fairness.
 """
 
 from __future__ import annotations
@@ -36,15 +43,24 @@ from repro.runtime.pipeline import build_engine
 from repro.serving.admission import BatchingConfig
 from repro.serving.baseline import (
     build_flexmoe_serving,
+    build_multitenant_serving,
     build_static_serving,
     serving_scheduler_config,
 )
 from repro.serving.engine import TopicRoutingModel
-from repro.serving.requests import RequestStream, RequestStreamConfig
-from repro.serving.slo import ServingReport, SLOConfig
+from repro.serving.requests import (
+    RequestStream,
+    RequestStreamConfig,
+    TenantSpec,
+    merge_tenant_requests,
+)
+from repro.serving.slo import ServingReport, SLOConfig, TenantClass
 
 #: Default report location (repo root when run from a checkout).
 REPORT_FILENAME = "BENCH_serving_latency.json"
+
+#: Default multi-tenant report location.
+MULTITENANT_REPORT_FILENAME = "BENCH_multitenant.json"
 
 
 def _serving_model(num_moe_layers: int, num_experts: int) -> MoEModelConfig:
@@ -264,6 +280,247 @@ def serving_run(
         static=static_server.run(),
         slo=slo,
         scenario=scenario,
+    )
+
+
+@dataclass(frozen=True)
+class MultiTenantRunResult:
+    """Outcome of one multi-tenant admission-discipline comparison.
+
+    Attributes:
+        flexmoe: FlexMoE placement + priority admission + preemption.
+        fifo: Static placement + global-FIFO admission (the baseline
+            serving tier: no classes, no quotas, no preemption).
+        scenario: Calibrated scenario parameters (JSON provenance).
+        tenants: Per-tenant provenance rows (JSON provenance).
+        fairness_floor: Minimum Jain index the verdict demands of the
+            priority server -- priority must not buy interactive latency
+            by starving the batch tenants outright.
+    """
+
+    flexmoe: ServingReport
+    fifo: ServingReport
+    scenario: dict[str, object]
+    tenants: tuple[dict[str, object], ...]
+    fairness_floor: float = 0.5
+
+    def interactive_attainment(self, report: ServingReport) -> float:
+        return float(
+            report.per_class_summary()["interactive"]["slo_attainment"]
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Priority admission strictly beats FIFO on interactive-class
+        SLO attainment without dropping below the fairness floor."""
+        return (
+            self.interactive_attainment(self.flexmoe)
+            > self.interactive_attainment(self.fifo)
+            and self.flexmoe.jain_fairness_index() >= self.fairness_floor
+        )
+
+    def summary(self) -> dict[str, object]:
+        flex, fifo = self.flexmoe, self.fifo
+        return {
+            "suite": "multitenant_serving",
+            "scenario": dict(self.scenario),
+            "tenants": [dict(row) for row in self.tenants],
+            "flexmoe": flex.multitenant_summary(),
+            "fifo": fifo.multitenant_summary(),
+            "interactive_attainment": {
+                "flexmoe": self.interactive_attainment(flex),
+                "fifo": self.interactive_attainment(fifo),
+            },
+            "attainment_gain": (
+                self.interactive_attainment(flex)
+                - self.interactive_attainment(fifo)
+            ),
+            "jain_fairness": flex.jain_fairness_index(),
+            "fairness_floor": self.fairness_floor,
+            "ok": self.ok,
+            "regression": not self.ok,
+        }
+
+
+def multitenant_run(
+    num_moe_layers: int = 2,
+    num_gpus: int = 8,
+    num_experts: int = 16,
+    num_requests: int = 400,
+    max_batch_tokens: int = 4096,
+    interactive_tokens: int = 256,
+    batch_tokens: int = 768,
+    load: float = 0.9,
+    interactive_share: float = 0.4,
+    interactive_slo_batches: float = 4.0,
+    batch_slo_batches: float = 20.0,
+    fairness_floor: float = 0.5,
+    skew: float = 2.0,
+    topic_drift: float = 0.4,
+    num_topics: int = 4,
+    seed: int = 0,
+) -> MultiTenantRunResult:
+    """Mixed interactive/batch load: priority admission vs plain FIFO.
+
+    Three tenants contend for one expert pool: an ``interactive`` tenant
+    (high priority, tight SLO, bursty arrivals, short requests, not
+    preemptible) and two ``batch`` tenants (priority 0, loose SLO,
+    Poisson arrivals, long requests, per-batch quota and per-tenant
+    backpressure, preemptible). Rates are calibrated so the *combined*
+    token load is ``load`` times the probed balanced capacity, split
+    ``interactive_share`` / rest by tokens.
+
+    The same merged stream runs through two servers: FlexMoE placement
+    with priority admission and preemption, against static placement
+    with a single global FIFO -- the tier this PR replaces. The verdict
+    (:attr:`MultiTenantRunResult.ok`) requires the priority server to
+    strictly beat FIFO on interactive-class SLO attainment while holding
+    a Jain fairness index of at least ``fairness_floor`` across tenants.
+    Deterministic under a fixed seed.
+    """
+    base = probe_batch_seconds(
+        num_moe_layers, num_gpus, num_experts, max_batch_tokens, seed=seed
+    )
+    capacity_tokens_per_s = max_batch_tokens / base
+    token_rate = load * capacity_tokens_per_s
+    # Request counts per tenant: half the stream is interactive traffic,
+    # the rest splits across the two batch tenants.
+    n_interactive = max(num_requests // 2, 1)
+    n_batch = max(num_requests // 4, 1)
+    # One shared horizon T makes the streams overlap: each tenant's rate
+    # is its request count over T, and T is chosen so the combined token
+    # rate equals the calibrated load.
+    interactive_token_rate = interactive_share * token_rate
+    batch_token_rate = (1.0 - interactive_share) * token_rate / 2.0
+    horizon = max(
+        n_interactive * interactive_tokens / interactive_token_rate,
+        1e-9,
+    )
+    interactive_rate = n_interactive / horizon
+    batch_rate = batch_token_rate / batch_tokens
+
+    interactive_class = TenantClass(
+        name="interactive",
+        slo=SLOConfig(
+            latency_target=interactive_slo_batches * base,
+            trigger_p99=2.0 * base,
+            queue_limit_tokens=2.0 * max_batch_tokens,
+        ),
+        priority=10,
+        preemptible=False,
+    )
+    batch_class = TenantClass(
+        name="batch",
+        slo=SLOConfig(latency_target=batch_slo_batches * base),
+        priority=0,
+        preemptible=True,
+    )
+    tenants = (
+        TenantSpec(
+            name="chat",
+            stream=RequestStreamConfig(
+                arrival="bursty",
+                rate_rps=interactive_rate,
+                num_requests=n_interactive,
+                mean_tokens=interactive_tokens,
+                max_tokens=max_batch_tokens,
+                num_topics=num_topics,
+                topic_drift=topic_drift,
+                seed=seed,
+            ),
+            tenant_class=interactive_class,
+        ),
+        TenantSpec(
+            name="batch-a",
+            stream=RequestStreamConfig(
+                arrival="poisson",
+                rate_rps=batch_rate,
+                num_requests=n_batch,
+                mean_tokens=batch_tokens,
+                max_tokens=max_batch_tokens,
+                num_topics=num_topics,
+                topic_drift=topic_drift,
+                seed=seed + 1,
+            ),
+            tenant_class=batch_class,
+            quota_tokens=max_batch_tokens // 2,
+            max_queue_tokens=4 * max_batch_tokens,
+        ),
+        TenantSpec(
+            name="batch-b",
+            stream=RequestStreamConfig(
+                arrival="poisson",
+                rate_rps=batch_rate,
+                num_requests=n_batch,
+                mean_tokens=batch_tokens,
+                max_tokens=max_batch_tokens,
+                num_topics=num_topics,
+                topic_drift=topic_drift,
+                seed=seed + 2,
+            ),
+            tenant_class=batch_class,
+            quota_tokens=max_batch_tokens // 2,
+            max_queue_tokens=4 * max_batch_tokens,
+        ),
+    )
+    requests = merge_tenant_requests(tenants)
+    cluster = cluster_for(num_gpus)
+    model = _serving_model(num_moe_layers, num_experts)
+    routing = TopicRoutingModel(
+        num_moe_layers, num_experts, num_topics, skew=skew, seed=seed
+    )
+    batching = BatchingConfig(
+        max_batch_tokens=max_batch_tokens,
+        max_queue_tokens=16 * max_batch_tokens,
+    )
+    flex_server = build_multitenant_serving(
+        cluster, model, tenants, batching, requests=requests,
+        num_moe_layers=num_moe_layers, routing=routing, skew=skew,
+        seed=seed, dynamic=True, admission_policy="priority",
+        preemption=True,
+    )
+    fifo_server = build_multitenant_serving(
+        cluster, model, tenants, batching, requests=requests,
+        num_moe_layers=num_moe_layers, routing=routing, skew=skew,
+        seed=seed, dynamic=False, admission_policy="fifo",
+        preemption=False,
+    )
+    scenario = {
+        "num_moe_layers": num_moe_layers,
+        "num_gpus": num_gpus,
+        "num_experts": num_experts,
+        "num_requests": len(requests),
+        "max_batch_tokens": max_batch_tokens,
+        "load": load,
+        "rate_rps": interactive_rate + 2.0 * batch_rate,
+        "interactive_share": interactive_share,
+        "balanced_batch_s": base,
+        "skew": skew,
+        "seed": seed,
+    }
+    tenant_rows = tuple(
+        {
+            "name": spec.name,
+            "class": spec.tenant_class.name,
+            "priority": spec.tenant_class.priority,
+            "preemptible": spec.tenant_class.preemptible,
+            "weight": spec.weight,
+            "quota_tokens": spec.quota_tokens,
+            "max_queue_tokens": spec.max_queue_tokens,
+            "arrival": spec.stream.arrival,
+            "rate_rps": spec.stream.rate_rps,
+            "num_requests": spec.stream.num_requests,
+            "mean_tokens": spec.stream.mean_tokens,
+            "slo_latency_s": spec.tenant_class.slo.latency_target,
+        }
+        for spec in tenants
+    )
+    return MultiTenantRunResult(
+        flexmoe=flex_server.run(),
+        fifo=fifo_server.run(),
+        scenario=scenario,
+        tenants=tenant_rows,
+        fairness_floor=fairness_floor,
     )
 
 

@@ -19,7 +19,10 @@ Seven subcommands expose the simulation engine without writing any code:
   (bursty/diurnal arrival, drifting topics) served by the dynamic
   FlexMoE server vs the frozen ``StaticServing`` baseline, with
   p50/p95/p99 latency and goodput written to
-  ``BENCH_serving_latency.json`` (see ``docs/serving.md``);
+  ``BENCH_serving_latency.json``; ``serve --multi-tenant`` runs the
+  multi-tenant comparison instead (SLO classes, priority admission,
+  preemption vs a global FIFO, ``BENCH_multitenant.json``) — see
+  ``docs/serving.md``;
 * ``scenario`` — the composed discrete-event scenario on the unified
   simulation kernel: serving under diurnal load WHILE devices fail and
   recover at wall-clock times WHILE a metered migration budget competes
@@ -284,16 +287,25 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--multi-tenant",
+        action="store_true",
+        help="multi-tenant comparison: an interactive tenant plus two "
+        "batch tenants; FlexMoE placement with priority admission and "
+        "preemption vs static placement with a global FIFO "
+        "(BENCH_multitenant.json)",
+    )
+    p.add_argument(
         "--smoke",
         action="store_true",
         help="fixed CI scenario; fails on any SLO-comparison regression",
     )
     p.add_argument(
         "--output",
-        default="BENCH_serving_latency.json",
+        default=None,
         metavar="PATH",
         help="where to write the JSON report (default: "
-        "BENCH_serving_latency.json in the current directory)",
+        "BENCH_serving_latency.json, or BENCH_multitenant.json with "
+        "--multi-tenant, in the current directory)",
     )
     p.add_argument("--json", action="store_true", help="print the report too")
 
@@ -697,11 +709,91 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_serve_multitenant(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.serving import (
+        MULTITENANT_REPORT_FILENAME,
+        multitenant_run,
+        write_report,
+    )
+
+    if args.output is None:
+        args.output = MULTITENANT_REPORT_FILENAME
+    num_requests = 200 if args.smoke else args.requests
+    seed = 0 if args.smoke else args.seed
+    # Smoke pins the CI scenario: 2 layers x 16 experts on 8 GPUs, one
+    # interactive tenant against two batch tenants near saturation.
+    result = multitenant_run(num_requests=num_requests, seed=seed)
+    summary = result.summary()
+    try:
+        path = write_report(summary, Path(args.output))
+    except OSError as exc:
+        print(f"error: cannot write report to {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
+    ok = bool(summary["ok"]) or not args.smoke
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    scenario = summary["scenario"]
+    print(
+        f"multi-tenant serving: {scenario['num_moe_layers']} MoE layers x "
+        f"{scenario['num_experts']} experts on {scenario['num_gpus']} GPUs, "
+        f"{scenario['num_requests']} requests across "
+        f"{len(summary['tenants'])} tenants (load {scenario['load']:.2f}, "
+        f"{scenario['rate_rps']:.0f} req/s calibrated)"
+    )
+    for row in summary["tenants"]:
+        print(
+            f"  tenant {row['name']:<8} class={row['class']:<11} "
+            f"priority={row['priority']:>2} weight={row['weight']:g} "
+            f"requests={row['num_requests']}"
+        )
+    print(
+        f"  {'server':<22} {'class':<11} {'SLO':>9} {'SLO-att':>8} "
+        f"{'served':>7} {'rejected':>8}"
+    )
+    for name, key in (
+        ("FlexMoE+priority", "flexmoe"),
+        ("Static+FIFO", "fifo"),
+    ):
+        for cls_name, s in sorted(summary[key]["per_class"].items()):
+            print(
+                f"  {name:<22} {cls_name:<11} "
+                f"{1e3 * s['slo_latency_s']:>7.3f}ms "
+                f"{s['slo_attainment']:>8.3f} "
+                f"{int(s['requests_served']):>7} "
+                f"{int(s['requests_rejected']):>8}"
+            )
+    print(
+        f"  interactive attainment: FlexMoE+priority "
+        f"{summary['interactive_attainment']['flexmoe']:.3f} vs Static+FIFO "
+        f"{summary['interactive_attainment']['fifo']:.3f} "
+        f"(gain {summary['attainment_gain']:+.3f})"
+    )
+    print(
+        f"  Jain fairness (FlexMoE+priority): "
+        f"{summary['jain_fairness']:.3f} (floor "
+        f"{summary['fairness_floor']:.2f}), preemptions "
+        f"{int(summary['flexmoe']['preemptions'])}"
+    )
+    print(f"  report written to {path}")
+    if args.smoke:
+        print("serve multi-tenant smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.bench.serving import serving_run, write_report
 
+    if args.multi_tenant:
+        return _cmd_serve_multitenant(args)
+    if args.output is None:
+        args.output = "BENCH_serving_latency.json"
     if args.smoke:
         # Fixed scenario CI gates on: skewed bursty stream near
         # saturation, no faults. Must show dynamic placement strictly

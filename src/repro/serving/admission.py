@@ -18,11 +18,15 @@ from __future__ import annotations
 import dataclasses
 from collections import deque
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.serving.requests import Request
+from repro.serving.requests import Request, TenantSpec
+
+#: Admission-ordering policies of :class:`PriorityAdmissionQueue`.
+ADMISSION_POLICIES = ("priority", "fifo")
 
 
 @dataclass(frozen=True)
@@ -151,5 +155,320 @@ class AdmissionQueue:
     def __repr__(self) -> str:
         return (
             f"AdmissionQueue(requests={len(self._queue)}, "
+            f"tokens={self._queued_tokens}, rejected={self._rejected})"
+        )
+
+
+class PriorityAdmissionQueue:
+    """Multi-tenant admission: priority levels, weighted-fair sharing,
+    per-batch quotas, per-tenant backpressure and preemption support.
+
+    Each tenant owns a FIFO sub-queue. Batch formation walks priority
+    levels from highest to lowest; within a level it repeatedly picks
+    the tenant with the smallest ``dispatched_tokens / weight`` stride
+    key among tenants whose head request is *dispatchable* -- within its
+    per-batch quota and fitting the remaining ``max_batch_tokens``
+    budget. Formation descends to a lower level only when every
+    remaining head at the current level is quota-blocked; a head that is
+    merely budget-blocked (quota available but the batch is full) stops
+    formation outright, so a dispatched batch never contains a
+    lower-priority request while a dispatchable higher-priority request
+    with remaining quota was queued -- the ordering invariant
+    ``tests/test_serving_multitenant.py`` pins.
+
+    Backpressure is two-level: the global ``max_queue_tokens`` bound of
+    :class:`BatchingConfig` applies first (an empty queue always
+    admits, as in :class:`AdmissionQueue`), then the tenant's own
+    ``max_queue_tokens`` (an empty *tenant* queue always admits).
+
+    Preemption support: :meth:`requeue` puts an in-flight batch back at
+    the *front* of its tenants' sub-queues in original order and refunds
+    the batch's fairness credit (the stride counters), so preempted work
+    is never dropped and never double-billed.
+
+    Args:
+        config: Global batch/backpressure bounds.
+        tenants: One :class:`~repro.serving.requests.TenantSpec` per
+            tenant id; requests' ``tenant`` fields index this sequence.
+        collect_meta: Expose the popped batch's arrival/tokens/topic/
+            tenant columns as numpy arrays for the vectorized serving
+            bookkeeping (see :class:`AdmissionQueue`).
+        policy: ``"priority"`` (the scheme above) or ``"fifo"`` --
+            global arrival order ignoring priorities, quotas and
+            weights (the baseline admission discipline; both levels of
+            backpressure still apply). With one tenant and no per-tenant
+            bounds, both policies reduce exactly to
+            :class:`AdmissionQueue`.
+    """
+
+    def __init__(
+        self,
+        config: BatchingConfig,
+        tenants: Sequence[TenantSpec],
+        collect_meta: bool = False,
+        policy: str = "priority",
+    ) -> None:
+        if not tenants:
+            raise ConfigurationError("tenants must not be empty")
+        if policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {ADMISSION_POLICIES}, got {policy!r}"
+            )
+        self._config = config
+        self._tenants = tuple(tenants)
+        self._policy = policy
+        self._priorities = tuple(t.tenant_class.priority for t in self._tenants)
+        # Distinct levels, highest first, with their tenant ids.
+        self._levels: tuple[tuple[int, tuple[int, ...]], ...] = tuple(
+            (
+                level,
+                tuple(
+                    t
+                    for t, p in enumerate(self._priorities)
+                    if p == level
+                ),
+            )
+            for level in sorted(set(self._priorities), reverse=True)
+        )
+        self._queues: tuple[deque[Request], ...] = tuple(
+            deque() for _ in self._tenants
+        )
+        self._fifo: deque[Request] = deque()  # policy="fifo" only
+        self._tenant_tokens = [0] * len(self._tenants)
+        self._served_tokens = [0.0] * len(self._tenants)  # stride credit
+        self._queued_tokens = 0
+        self._queued_requests = 0
+        self._rejected = 0
+        self._collect_meta = bool(collect_meta)
+        self.last_batch_arrivals: np.ndarray | None = None
+        self.last_batch_tokens: np.ndarray | None = None
+        self.last_batch_topics: np.ndarray | None = None
+        self.last_batch_tenants: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> BatchingConfig:
+        return self._config
+
+    @property
+    def tenants(self) -> tuple[TenantSpec, ...]:
+        return self._tenants
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def queued_requests(self) -> int:
+        return self._queued_requests
+
+    @property
+    def queued_tokens(self) -> int:
+        """Tokens currently waiting (the backpressure/trigger signal)."""
+        return self._queued_tokens
+
+    @property
+    def rejected_requests(self) -> int:
+        """Arrivals turned away by backpressure so far."""
+        return self._rejected
+
+    def tenant_queued_tokens(self, tenant: int) -> int:
+        return self._tenant_tokens[tenant]
+
+    def tenant_served_tokens(self, tenant: int) -> float:
+        """The tenant's stride counter (dispatched minus refunded)."""
+        return self._served_tokens[tenant]
+
+    def __len__(self) -> int:
+        return self._queued_requests
+
+    def highest_queued_priority(self) -> int | None:
+        """Highest priority level with queued work (``None`` if empty)."""
+        if not self._queued_requests:
+            return None
+        if self._policy == "fifo":
+            return max(self._priorities[r.tenant] for r in self._fifo)
+        for level, members in self._levels:
+            if any(self._queues[t] for t in members):
+                return level
+        return None
+
+    def batch_priority(self, batch: Sequence[Request]) -> int:
+        """The priority an in-flight ``batch`` runs at (its maximum)."""
+        return max(self._priorities[r.tenant] for r in batch)
+
+    def batch_preemptible(self, batch: Sequence[Request]) -> bool:
+        """Whether every class riding ``batch`` allows preemption."""
+        return all(
+            self._tenants[r.tenant].tenant_class.preemptible for r in batch
+        )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def offer(self, request: Request) -> bool:
+        """Admit ``request``; ``False`` when either backpressure level
+        rejects it. Empty (global / tenant) queues always admit."""
+        tenant = request.tenant
+        if not 0 <= tenant < len(self._tenants):
+            raise ConfigurationError(
+                f"request tenant {tenant} outside the configured "
+                f"{len(self._tenants)} tenants"
+            )
+        limit = self._config.max_queue_tokens
+        if (
+            limit is not None
+            and self._queued_requests
+            and self._queued_tokens + request.tokens > limit
+        ):
+            self._rejected += 1
+            return False
+        tenant_limit = self._tenants[tenant].max_queue_tokens
+        if (
+            tenant_limit is not None
+            and self._tenant_tokens[tenant]
+            and self._tenant_tokens[tenant] + request.tokens > tenant_limit
+        ):
+            self._rejected += 1
+            return False
+        if self._policy == "fifo":
+            self._fifo.append(request)
+        else:
+            self._queues[tenant].append(request)
+        self._tenant_tokens[tenant] += request.tokens
+        self._queued_tokens += request.tokens
+        self._queued_requests += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Batch formation
+    # ------------------------------------------------------------------
+    def _pick(self, used: list[int], batch_tokens: int) -> int | None:
+        """The next tenant to pop from, or ``None`` to stop.
+
+        Walks priority levels top-down. At each level, heads are
+        classified: quota-blocked heads are skipped (the level may be
+        descended past), budget-blocked heads stop formation (returning
+        ``None``), and among dispatchable heads the smallest
+        ``served/weight`` stride key (ties to the lower tenant id) wins.
+        """
+        budget = self._config.max_batch_tokens
+        for _, members in self._levels:
+            best: int | None = None
+            best_key: tuple[float, int] | None = None
+            budget_blocked = False
+            for tenant in members:
+                queue = self._queues[tenant]
+                if not queue:
+                    continue
+                head = queue[0]
+                quota = self._tenants[tenant].quota_tokens
+                if (
+                    quota is not None
+                    and used[tenant]
+                    and used[tenant] + head.tokens > quota
+                ):
+                    continue  # quota-blocked: eligible to descend past
+                if batch_tokens and batch_tokens + head.tokens > budget:
+                    budget_blocked = True
+                    continue
+                key = (
+                    self._served_tokens[tenant]
+                    / self._tenants[tenant].weight,
+                    tenant,
+                )
+                if best_key is None or key < best_key:
+                    best, best_key = tenant, key
+            if best is not None:
+                return best
+            if budget_blocked:
+                return None  # higher-priority work exists but won't fit
+        return None
+
+    def next_batch(self) -> tuple[Request, ...]:
+        """Pop the next micro-batch under the policy's ordering.
+
+        Always returns at least one request when work is queued (the
+        first pop ignores quotas and the budget, mirroring the
+        oversized-request rule); the empty tuple otherwise.
+        """
+        if self._policy == "fifo":
+            return self._next_batch_fifo()
+        batch: list[Request] = []
+        tokens = 0
+        used = [0] * len(self._tenants)
+        while True:
+            tenant = self._pick(used, tokens)
+            if tenant is None:
+                break
+            head = self._queues[tenant].popleft()
+            batch.append(head)
+            tokens += head.tokens
+            used[tenant] += head.tokens
+            self._served_tokens[tenant] += head.tokens
+            self._tenant_tokens[tenant] -= head.tokens
+        self._queued_tokens -= tokens
+        self._queued_requests -= len(batch)
+        self._collect_batch_meta(batch)
+        return tuple(batch)
+
+    def _next_batch_fifo(self) -> tuple[Request, ...]:
+        batch: list[Request] = []
+        tokens = 0
+        budget = self._config.max_batch_tokens
+        while self._fifo:
+            head = self._fifo[0]
+            if batch and tokens + head.tokens > budget:
+                break
+            batch.append(self._fifo.popleft())
+            tokens += head.tokens
+            self._served_tokens[head.tenant] += head.tokens
+            self._tenant_tokens[head.tenant] -= head.tokens
+        self._queued_tokens -= tokens
+        self._queued_requests -= len(batch)
+        self._collect_batch_meta(batch)
+        return tuple(batch)
+
+    def _collect_batch_meta(self, batch: Sequence[Request]) -> None:
+        if not self._collect_meta or not batch:
+            return
+        meta = np.array(
+            [(r.arrival, r.tokens, r.topic, r.tenant) for r in batch],
+            dtype=float,
+        )
+        self.last_batch_arrivals = meta[:, 0]
+        self.last_batch_tokens = meta[:, 1].astype(np.int64)
+        self.last_batch_topics = meta[:, 2].astype(np.int64)
+        self.last_batch_tenants = meta[:, 3].astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Preemption support
+    # ------------------------------------------------------------------
+    def requeue(self, batch: Sequence[Request]) -> None:
+        """Put a preempted in-flight ``batch`` back at the queue front.
+
+        Requests return to the *front* of their tenants' sub-queues in
+        their original relative order (they arrived before anything
+        queued behind them), and the batch's fairness credit is refunded
+        so a preempted tenant is not billed for work it never received.
+        """
+        for request in reversed(batch):
+            tenant = request.tenant
+            if self._policy == "fifo":
+                self._fifo.appendleft(request)
+            else:
+                self._queues[tenant].appendleft(request)
+            self._tenant_tokens[tenant] += request.tokens
+            self._queued_tokens += request.tokens
+            self._queued_requests += 1
+            self._served_tokens[tenant] -= request.tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"PriorityAdmissionQueue({self._policy}, "
+            f"tenants={len(self._tenants)}, "
+            f"requests={self._queued_requests}, "
             f"tokens={self._queued_tokens}, rejected={self._rejected})"
         )

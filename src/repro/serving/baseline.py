@@ -34,8 +34,21 @@ from repro.core.trigger import LatencyTrigger, NeverTrigger
 from repro.runtime.pipeline import build_engine
 from repro.serving.admission import BatchingConfig
 from repro.serving.engine import ServingEngine, TopicRoutingModel
-from repro.serving.requests import Request
+from repro.serving.requests import Request, TenantSpec
 from repro.serving.slo import SLOConfig
+
+
+def strictest_tenant_slo(tenants: Sequence[TenantSpec]) -> SLOConfig:
+    """The tightest class SLO across ``tenants``.
+
+    Multi-tenant servers trigger placement on the most demanding class:
+    reacting early enough for the tightest latency target protects every
+    looser one as well.
+    """
+    return min(
+        (spec.tenant_class.slo for spec in tenants),
+        key=lambda slo: slo.latency_target,
+    )
 
 
 class StaticServing(ServingEngine):
@@ -133,4 +146,69 @@ def build_static_serving(
     return StaticServing(
         engine, requests, batching, slo, routing=routing, skew=skew,
         seed=seed, vectorized=vectorized,
+    )
+
+
+def build_multitenant_serving(
+    cluster: ClusterConfig,
+    model: MoEModelConfig,
+    tenants: Sequence[TenantSpec],
+    batching: BatchingConfig,
+    requests: Sequence[Request] | None = None,
+    num_moe_layers: int | None = None,
+    routing: TopicRoutingModel | None = None,
+    elasticity: ElasticitySchedule | None = None,
+    skew: float = 1.3,
+    seed: int = 0,
+    vectorized: bool = True,
+    dynamic: bool = True,
+    admission_policy: str = "priority",
+    preemption: bool = True,
+) -> ServingEngine:
+    """A multi-tenant server: priority admission over either placement mode.
+
+    Args:
+        tenants: One :class:`~repro.serving.requests.TenantSpec` per
+            tenant; the engine's headline SLO (and the dynamic trigger)
+            derive from the strictest class.
+        requests: An explicitly merged stream (so two servers can share
+            the identical sequence); ``None`` merges the tenants'
+            streams here.
+        dynamic: ``True`` builds the FlexMoE server (``LatencyTrigger``,
+            Migrate on); ``False`` the frozen :class:`StaticServing`
+            baseline (``NeverTrigger``, Migrate off).
+        admission_policy: ``"priority"`` (weighted-fair priority
+            admission with quotas) or ``"fifo"`` (the baseline
+            discipline).
+        preemption: Whether higher-priority arrivals preempt preemptible
+            in-flight batches.
+    """
+    slo = strictest_tenant_slo(tenants)
+    engine = build_engine(
+        cluster,
+        model,
+        num_moe_layers=num_moe_layers,
+        scheduler_config=serving_scheduler_config(
+            model, cluster, elasticity, migrate=dynamic
+        ),
+        elasticity=elasticity,
+        seed=seed,
+        trigger_factory=(
+            (
+                lambda: LatencyTrigger(
+                    p99_target=slo.effective_trigger_p99,
+                    queue_limit_tokens=slo.queue_limit_tokens,
+                )
+            )
+            if dynamic
+            else NeverTrigger
+        ),
+        inference=True,
+    )
+    cls = ServingEngine if dynamic else StaticServing
+    engine.name = cls.name
+    return cls(
+        engine, requests, batching, slo, routing=routing, skew=skew,
+        seed=seed, vectorized=vectorized, tenants=tenants,
+        admission_policy=admission_policy, preemption=preemption,
     )

@@ -33,6 +33,7 @@ land mid-stream and serving continues on the surviving pool
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from typing import Sequence
 
@@ -40,14 +41,20 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.runtime.pipeline import MultiLayerFlexMoEEngine
-from repro.sim import Scenario, ServingSource
-from repro.serving.admission import AdmissionQueue, BatchingConfig
-from repro.serving.requests import Request
+from repro.sim import MultiTenantServingSource, Scenario, ServingSource
+from repro.serving.admission import (
+    ADMISSION_POLICIES,
+    AdmissionQueue,
+    BatchingConfig,
+    PriorityAdmissionQueue,
+)
+from repro.serving.requests import Request, TenantSpec, merge_tenant_requests
 from repro.serving.slo import (
     LatencyWindow,
     RequestRecord,
     ServingReport,
     SLOConfig,
+    TenancyInfo,
 )
 from repro.workload.synthetic import LAYER_SEED_STRIDE, stationary_skewed_probs
 
@@ -166,6 +173,20 @@ class ServingEngine:
             the reference the identity tests compare against; both
             settings produce numerically identical
             :class:`~repro.serving.slo.ServingReport` objects.
+        tenants: Multi-tenant mode: one
+            :class:`~repro.serving.requests.TenantSpec` per tenant id.
+            The front-end becomes a
+            :class:`~repro.serving.admission.PriorityAdmissionQueue`,
+            arrivals may preempt lower-priority in-flight batches, and
+            the report grows per-class/per-tenant sections. ``requests``
+            may be ``None`` (the tenants' streams are merged via
+            :func:`~repro.serving.requests.merge_tenant_requests`) or an
+            explicitly merged sequence shared between servers.
+        admission_policy: Multi-tenant batch ordering -- ``"priority"``
+            (weighted-fair priority admission with quotas) or
+            ``"fifo"`` (global arrival order, the baseline discipline).
+        preemption: Whether higher-priority arrivals preempt preemptible
+            lower-priority in-flight batches (multi-tenant mode only).
     """
 
     name = "FlexMoE-serving"
@@ -173,7 +194,7 @@ class ServingEngine:
     def __init__(
         self,
         engine: MultiLayerFlexMoEEngine,
-        requests: Sequence[Request],
+        requests: Sequence[Request] | None,
         batching: BatchingConfig,
         slo: SLOConfig,
         routing: TopicRoutingModel | None = None,
@@ -181,11 +202,34 @@ class ServingEngine:
         seed: int = 0,
         popularity_smoothing: float = 0.3,
         vectorized: bool = True,
+        tenants: Sequence[TenantSpec] | None = None,
+        admission_policy: str = "priority",
+        preemption: bool = True,
     ) -> None:
         if not 0 < popularity_smoothing <= 1:
             raise ConfigurationError(
                 "popularity_smoothing must be in (0, 1]"
             )
+        if admission_policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"admission_policy must be one of {ADMISSION_POLICIES}, "
+                f"got {admission_policy!r}"
+            )
+        if tenants is not None and not tenants:
+            raise ConfigurationError("tenants must not be empty")
+        if requests is None:
+            if tenants is None:
+                raise ConfigurationError(
+                    "requests may only be omitted in multi-tenant mode"
+                )
+            requests = merge_tenant_requests(tenants)
+        if tenants is not None:
+            bad = [r.index for r in requests if r.tenant >= len(tenants)]
+            if bad:
+                raise ConfigurationError(
+                    f"requests {bad[:3]} reference tenants outside the "
+                    f"configured {len(tenants)}"
+                )
         if not requests:
             raise ConfigurationError("requests must not be empty")
         self._engine = engine
@@ -212,6 +256,9 @@ class ServingEngine:
         self._rng = np.random.default_rng(seed)
         self._smoothing = popularity_smoothing
         self._vectorized = bool(vectorized)
+        self._tenants = tuple(tenants) if tenants is not None else None
+        self._admission_policy = admission_policy
+        self._preemption = bool(preemption)
         self._demand_estimate: np.ndarray | None = None
         self._report: ServingReport | None = None
 
@@ -229,6 +276,11 @@ class ServingEngine:
     @property
     def slo(self) -> SLOConfig:
         return self._slo
+
+    @property
+    def tenants(self) -> tuple[TenantSpec, ...] | None:
+        """The tenant specs in multi-tenant mode (``None`` otherwise)."""
+        return self._tenants
 
     @property
     def report(self) -> ServingReport | None:
@@ -349,9 +401,23 @@ class ServingEngine:
                 pending arrivals, so composed scenarios default to the
                 eager per-request source. Either way the serve-side
                 bookkeeping stays columnar when the engine is
-                vectorized.
+                vectorized. Multi-tenant servers reject this flag:
+                priority admission and preemption must observe every
+                arrival at its arrival time.
         """
         self._warm_up()
+        if self._tenants is not None:
+            if lazy_admission:
+                raise ConfigurationError(
+                    "lazy bulk admission is incompatible with multi-tenant "
+                    "serving: priority admission and preemption must "
+                    "observe every arrival at its arrival time"
+                )
+            return _MultiTenantRun(
+                self,
+                stream_budget=stream_budget,
+                preemption=self._preemption,
+            )
         return _ServingRun(
             self, stream_budget=stream_budget, lazy_admission=lazy_admission
         )
@@ -362,10 +428,18 @@ class ServingEngine:
         The stream runs as arrival/batch/completion events on the shared
         discrete-event kernel. ``kernel=False`` replays the retired
         hand-rolled clock loop instead (kept for the identity tests);
-        both paths produce identical reports on seeded runs.
+        both paths produce identical reports on seeded runs. The legacy
+        loop predates multi-tenant mode and rejects it.
         """
+        if not kernel and self._tenants is not None:
+            raise ConfigurationError(
+                "the legacy clock loop does not support multi-tenant "
+                "serving; use run(kernel=True)"
+            )
         if kernel:
-            run = self.event_source(lazy_admission=self._vectorized)
+            run = self.event_source(
+                lazy_admission=self._vectorized and self._tenants is None
+            )
             Scenario(
                 name=f"serve-{type(self).name}",
                 sources=(run.source,),
@@ -448,17 +522,33 @@ class _ServingRun:
     def serve(self, batch: Sequence[Request], now: float, index: int) -> float:
         """Serve one micro-batch at simulated time ``now``; returns its
         modelled duration."""
+        execute, queue_col = self._model_batch(batch, now, index)
+        self._account(batch, now, queue_col, execute)
+        return execute
+
+    def _model_batch(
+        self, batch: Sequence[Request], now: float, index: int
+    ) -> tuple[float, np.ndarray | None]:
+        """Push signals, route and execute one batch through the engine.
+
+        Returns the modelled execute time plus the batch's queue-time
+        column (``None`` on the per-request path). The multi-tenant run
+        reuses this half verbatim and defers :meth:`_account` to the
+        batch's completion, so preempted batches are never recorded.
+        """
         server = self._server
         server._engine.observe_serving_signals(
             p99_latency=self.window.p99(),
             queue_tokens=float(self.queue.queued_tokens),
         )
+        queue_col: np.ndarray | None = None
         if self._vectorized:
             tokens = self.queue.last_batch_tokens.astype(float)
             topics = self.queue.last_batch_topics % server._routing.num_topics
             assignments = server._batch_assignments(
                 batch, tokens=tokens, topics=topics
             )
+            queue_col = now - self.queue.last_batch_arrivals
         else:
             assignments = server._batch_assignments(batch)
         pending = server._engine.step_schedule(
@@ -470,9 +560,18 @@ class _ServingRun:
         result = server._engine.step_commit(
             pending, stream_budget=self._stream_budget
         )
-        execute = result.step_time
+        self.actions += result.scheduling_actions
+        return result.step_time, queue_col
+
+    def _account(
+        self,
+        batch: Sequence[Request],
+        now: float,
+        queue_col: np.ndarray | None,
+        execute: float,
+    ) -> None:
+        """Record the batch's latencies (columnar or per-request)."""
         if self._vectorized:
-            queue_col = now - self.queue.last_batch_arrivals
             self._append_columns(batch, now, queue_col, execute)
             self.window.observe_batch(queue_col + execute)
         else:
@@ -485,8 +584,6 @@ class _ServingRun:
                 )
                 self.records.append(record)
                 self.window.observe(record.latency)
-        self.actions += result.scheduling_actions
-        return execute
 
     def _append_columns(
         self,
@@ -555,3 +652,84 @@ class _ServingRun:
             sim_duration=sim_duration,
             placement_actions=self.actions,
         )
+
+
+class _MultiTenantRun(_ServingRun):
+    """A serving run driven by the multi-tenant admission front-end.
+
+    Differences from the single-stream :class:`_ServingRun`:
+
+    * the front-end is a
+      :class:`~repro.serving.admission.PriorityAdmissionQueue` (priority
+      levels, weighted-fair sharing, quotas, two-level backpressure);
+    * the serve callback is split: :meth:`dispatch` models and times the
+      batch, but latencies are only recorded when :meth:`complete` fires
+      -- a preempted batch is re-queued instead and never recorded until
+      it genuinely finishes;
+    * the report carries a :class:`~repro.serving.slo.TenancyInfo`
+      (per-class attainment, preemption counters, fairness index).
+
+    With one tenant (no quota, no per-tenant bound, nothing to preempt)
+    every decision reduces to the single-stream path and the report is
+    byte-identical to it -- the reduction identity
+    ``tests/test_sim_identity.py`` pins.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        stream_budget: float | None = None,
+        preemption: bool = True,
+    ) -> None:
+        super().__init__(engine, stream_budget=stream_budget, legacy=True)
+        self.queue = PriorityAdmissionQueue(
+            engine._batching,
+            engine._tenants,
+            collect_meta=self._vectorized,
+            policy=engine._admission_policy,
+        )
+        # The in-flight batch's queue-time column, stashed at dispatch
+        # for the completion (or discarded by a preemption). At most one
+        # batch is ever in flight, so a single slot suffices.
+        self._pending_queue_col: np.ndarray | None = None
+        self.source = MultiTenantServingSource(
+            self.requests,
+            self.queue,
+            self.dispatch,
+            self.complete,
+            preemption=preemption,
+        )
+
+    def dispatch(
+        self, batch: Sequence[Request], now: float, index: int
+    ) -> float:
+        """Model one micro-batch; accounting waits for its completion."""
+        execute, queue_col = self._model_batch(batch, now, index)
+        self._pending_queue_col = queue_col
+        return execute
+
+    def complete(
+        self, batch: Sequence[Request], start: float, execute: float
+    ) -> None:
+        """Record the batch that genuinely finished (never preempted)."""
+        self._account(batch, start, self._pending_queue_col, execute)
+
+    def report(self) -> ServingReport:
+        source = self.source
+        tenants = self._server._tenants
+        info = TenancyInfo(
+            names=tuple(t.name for t in tenants),
+            class_names=tuple(t.tenant_class.name for t in tenants),
+            priorities=tuple(t.tenant_class.priority for t in tenants),
+            weights=tuple(t.weight for t in tenants),
+            slos=tuple(t.tenant_class.slo for t in tenants),
+            preemptions=source.preemptions,
+            preempted_requests=source.preempted_requests,
+            wasted_seconds=source.wasted_seconds,
+        )
+        base = self.legacy_report(
+            rejected=tuple(source.rejected),
+            num_batches=source.num_batches,
+            sim_duration=source.last_completion,
+        )
+        return dataclasses.replace(base, tenancy=info)

@@ -30,10 +30,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 import dataclasses
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (slo imports requests)
+    from repro.serving.slo import TenantClass
 
 #: Arrival processes understood by :class:`RequestStream`.
 ARRIVAL_MODELS = ("poisson", "bursty", "diurnal")
@@ -137,12 +141,16 @@ class Request:
         tokens: Request length in tokens.
         topic: Topic id in ``[0, num_topics)``, driving which experts the
             request's tokens prefer.
+        tenant: Tenant id in a multi-tenant stream (position of the
+            owning :class:`TenantSpec` in the spec sequence). Single
+            stream runs leave the default ``0``.
     """
 
     index: int
     arrival: float
     tokens: int
     topic: int
+    tenant: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -151,6 +159,8 @@ class Request:
             raise ConfigurationError("tokens must be >= 1")
         if self.topic < 0:
             raise ConfigurationError("topic must be >= 0")
+        if self.tenant < 0:
+            raise ConfigurationError("tenant must be >= 0")
 
 
 class RequestStream:
@@ -254,3 +264,94 @@ class RequestStream:
             f"RequestStream({cfg.arrival}, rate={cfg.rate_rps:.1f} rps, "
             f"n={cfg.num_requests}, seed={cfg.seed})"
         )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a multi-tenant serving scenario.
+
+    A tenant owns its own seeded arrival stream, belongs to a
+    :class:`~repro.serving.slo.TenantClass` (which carries the SLO,
+    priority level and preemptibility shared by every tenant of that
+    class), and may carry per-tenant resource bounds the
+    :class:`~repro.serving.admission.PriorityAdmissionQueue` enforces.
+
+    Attributes:
+        name: Tenant identifier (unique within a scenario).
+        stream: The tenant's seeded arrival stream.
+        tenant_class: Service class: SLO, priority and preemptibility.
+        weight: Weighted-fair share within a priority level; the batcher
+            favours the tenant with the smallest
+            ``dispatched_tokens / weight`` when several same-priority
+            tenants have work queued.
+        quota_tokens: Per-micro-batch token quota; a tenant already
+            holding ``quota_tokens`` of the forming batch is skipped in
+            favour of other tenants (its *first* request in a batch is
+            always eligible, mirroring the oversized-request rule --
+            quotas bound sharing, they never starve a tenant outright).
+            ``None`` disables the quota.
+        max_queue_tokens: Per-tenant backpressure bound on queued
+            tokens; the tenant's arrivals are rejected past it even when
+            the global queue bound still has room. ``None`` leaves only
+            the global bound.
+    """
+
+    name: str
+    stream: RequestStreamConfig
+    tenant_class: "TenantClass"
+    weight: float = 1.0
+    quota_tokens: int | None = None
+    max_queue_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "tenant name must not be empty")
+        _require(self.weight > 0, "weight must be > 0")
+        _require(
+            self.quota_tokens is None or self.quota_tokens >= 1,
+            "quota_tokens must be >= 1",
+        )
+        _require(
+            self.max_queue_tokens is None or self.max_queue_tokens >= 1,
+            "max_queue_tokens must be >= 1",
+        )
+        # Duck-typed (slo.py imports this module, so the class itself
+        # cannot be imported here at runtime).
+        _require(
+            hasattr(self.tenant_class, "priority")
+            and hasattr(self.tenant_class, "slo"),
+            "tenant_class must be a TenantClass (priority + slo)",
+        )
+
+    @property
+    def priority(self) -> int:
+        return self.tenant_class.priority
+
+    def replace(self, **changes: object) -> "TenantSpec":
+        """Return a copy of this spec with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+def merge_tenant_requests(specs: Sequence[TenantSpec]) -> tuple[Request, ...]:
+    """Materialize and merge every tenant's stream into one sequence.
+
+    Each request is tagged with its tenant id (the spec's position),
+    the merged sequence is sorted by ``(arrival, tenant, index)`` and
+    re-indexed globally. With a single tenant this is the identity: the
+    merged sequence equals the tenant's own stream (its requests already
+    arrive in index order and carry ``tenant=0``), which is what the
+    single-tenant reduction identity test pins.
+    """
+    if not specs:
+        raise ConfigurationError("specs must not be empty")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"tenant names must be unique, got {names}")
+    tagged: list[Request] = []
+    for tenant, spec in enumerate(specs):
+        for request in RequestStream(spec.stream).generate():
+            tagged.append(dataclasses.replace(request, tenant=tenant))
+    tagged.sort(key=lambda r: (r.arrival, r.tenant, r.index))
+    return tuple(
+        dataclasses.replace(request, index=index)
+        for index, request in enumerate(tagged)
+    )

@@ -71,6 +71,82 @@ class SLOConfig:
 
 
 @dataclass(frozen=True)
+class TenantClass:
+    """A service class shared by one or more tenants.
+
+    Attributes:
+        name: Class identifier (``interactive`` / ``batch`` / ...).
+        slo: The per-request latency objective every tenant of this
+            class is measured against.
+        priority: Admission priority; higher values dispatch first, and
+            an arrival of a strictly higher priority preempts a
+            preemptible in-flight batch of a lower one.
+        preemptible: Whether an in-flight batch led by this class may be
+            preempted by higher-priority arrivals. Preempted work is
+            re-queued at the front of its tenants' queues with its
+            fairness credit refunded -- never dropped.
+    """
+
+    name: str
+    slo: SLOConfig
+    priority: int = 0
+    preemptible: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("class name must not be empty")
+
+    def replace(self, **changes: object) -> "TenantClass":
+        """Return a copy of this class with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class TenancyInfo:
+    """Per-tenant configuration plus preemption counters of one run.
+
+    Index ``t`` of every tuple describes tenant ``t`` (the
+    :class:`~repro.serving.requests.Request.tenant` id).
+
+    Attributes:
+        names: Tenant names.
+        class_names: Each tenant's service-class name.
+        priorities: Each tenant's admission priority.
+        weights: Each tenant's weighted-fair share.
+        slos: Each tenant's per-request latency objective.
+        preemptions: In-flight batches preempted over the run.
+        preempted_requests: Requests re-queued by those preemptions
+            (counted per preemption; a twice-preempted request counts
+            twice).
+        wasted_seconds: Simulated execute time thrown away by
+            preemptions (the preempted batches re-execute in full).
+    """
+
+    names: tuple[str, ...]
+    class_names: tuple[str, ...]
+    priorities: tuple[int, ...]
+    weights: tuple[float, ...]
+    slos: tuple[SLOConfig, ...]
+    preemptions: int = 0
+    preempted_requests: int = 0
+    wasted_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        n = len(self.names)
+        if n == 0:
+            raise ConfigurationError("TenancyInfo needs at least one tenant")
+        for field in ("class_names", "priorities", "weights", "slos"):
+            if len(getattr(self, field)) != n:
+                raise ConfigurationError(
+                    f"{field} must have one entry per tenant"
+                )
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.names)
+
+
+@dataclass(frozen=True)
 class RequestRecord:
     """One served request with its latency decomposition.
 
@@ -195,6 +271,11 @@ class ServingReport:
             completion.
         placement_actions: Placement actions committed by the engine
             over the run (0 for the static baseline).
+        tenancy: Multi-tenant configuration and preemption counters;
+            ``None`` for single-stream runs (the per-class accessors
+            then raise). The flat :meth:`summary` never touches it, so
+            single-tenant reductions stay byte-identical to the
+            single-stream path.
     """
 
     engine: str
@@ -204,6 +285,7 @@ class ServingReport:
     num_batches: int
     sim_duration: float
     placement_actions: int = 0
+    tenancy: TenancyInfo | None = None
 
     # ------------------------------------------------------------------
     # Latency
@@ -304,3 +386,144 @@ class ServingReport:
             "slo_attainment": self.slo_attainment,
             "placement_actions": float(self.placement_actions),
         }
+
+    # ------------------------------------------------------------------
+    # Multi-tenant accounting (requires ``tenancy``)
+    # ------------------------------------------------------------------
+    def _require_tenancy(self) -> TenancyInfo:
+        if self.tenancy is None:
+            raise ConfigurationError(
+                "this report carries no tenancy info (single-stream run)"
+            )
+        return self.tenancy
+
+    def _tenant_partition(
+        self,
+    ) -> tuple[list[list[RequestRecord]], list[list[Request]]]:
+        """Records and rejections grouped by tenant id."""
+        info = self._require_tenancy()
+        records: list[list[RequestRecord]] = [
+            [] for _ in range(info.num_tenants)
+        ]
+        rejected: list[list[Request]] = [[] for _ in range(info.num_tenants)]
+        for record in self.records:
+            records[record.request.tenant].append(record)
+        for request in self.rejected:
+            rejected[request.tenant].append(request)
+        return records, rejected
+
+    def per_tenant_summary(self) -> dict[str, dict[str, object]]:
+        """Per-tenant served/offered tokens and SLO attainment.
+
+        Attainment is measured against the *tenant's own class SLO*
+        (tight for interactive tenants, loose for batch ones), with
+        rejections counted as misses exactly as in the aggregate view.
+        """
+        info = self._require_tenancy()
+        records, rejected = self._tenant_partition()
+        out: dict[str, dict[str, float]] = {}
+        for t, name in enumerate(info.names):
+            target = info.slos[t].latency_target
+            served = records[t]
+            offered = len(served) + len(rejected[t])
+            good = sum(1 for r in served if r.latency <= target)
+            latencies = np.array([r.latency for r in served])
+            out[name] = {
+                "class": info.class_names[t],
+                "priority": float(info.priorities[t]),
+                "weight": float(info.weights[t]),
+                "requests_served": float(len(served)),
+                "requests_rejected": float(len(rejected[t])),
+                "served_tokens": float(
+                    sum(r.request.tokens for r in served)
+                ),
+                "offered_tokens": float(
+                    sum(r.request.tokens for r in served)
+                    + sum(r.tokens for r in rejected[t])
+                ),
+                "p99_latency_s": (
+                    float(np.percentile(latencies, 99.0))
+                    if len(served)
+                    else float("inf")
+                ),
+                "slo_attainment": good / offered if offered else 1.0,
+            }
+        return out
+
+    def per_class_summary(self) -> dict[str, dict[str, float]]:
+        """Per-service-class SLO attainment (the bench's gate signal).
+
+        Tenants of one class share its SLO; the class attainment is the
+        fraction of the class's *offered* requests finishing within it,
+        rejections counted as misses.
+        """
+        info = self._require_tenancy()
+        records, rejected = self._tenant_partition()
+        classes: dict[str, dict[str, float]] = {}
+        for t in range(info.num_tenants):
+            name = info.class_names[t]
+            entry = classes.setdefault(
+                name,
+                {
+                    "priority": float(info.priorities[t]),
+                    "slo_latency_s": info.slos[t].latency_target,
+                    "requests_served": 0.0,
+                    "requests_rejected": 0.0,
+                    "served_tokens": 0.0,
+                    "slo_attainment_hits": 0.0,
+                },
+            )
+            target = info.slos[t].latency_target
+            entry["requests_served"] += len(records[t])
+            entry["requests_rejected"] += len(rejected[t])
+            entry["served_tokens"] += sum(
+                r.request.tokens for r in records[t]
+            )
+            entry["slo_attainment_hits"] += sum(
+                1 for r in records[t] if r.latency <= target
+            )
+        for entry in classes.values():
+            offered = entry["requests_served"] + entry["requests_rejected"]
+            entry["slo_attainment"] = (
+                entry.pop("slo_attainment_hits") / offered if offered else 1.0
+            )
+        return classes
+
+    def jain_fairness_index(self) -> float:
+        """Jain's index over per-tenant weighted service ratios.
+
+        Each tenant's allocation is its served/offered token ratio
+        normalized by its weight, ``x_t = (served_t / offered_t) /
+        weight_t``; the index is ``(sum x)^2 / (n * sum x^2)`` over
+        tenants that offered any tokens. 1.0 is perfectly weighted-fair
+        service, ``1/n`` is one tenant taking everything. Returns 1.0
+        when no tenant offered work.
+        """
+        info = self._require_tenancy()
+        records, rejected = self._tenant_partition()
+        ratios = []
+        for t in range(info.num_tenants):
+            served = sum(r.request.tokens for r in records[t])
+            offered = served + sum(r.tokens for r in rejected[t])
+            if offered > 0:
+                ratios.append((served / offered) / info.weights[t])
+        if not ratios:
+            return 1.0
+        x = np.array(ratios)
+        denom = len(x) * float((x * x).sum())
+        if denom == 0:
+            # Every tenant offered work and none was served at all.
+            return 1.0
+        return float(x.sum()) ** 2 / denom
+
+    def multitenant_summary(self) -> dict[str, object]:
+        """The flat :meth:`summary` plus the per-class/tenant sections."""
+        info = self._require_tenancy()
+        out: dict[str, object] = dict(self.summary())
+        out["per_class"] = self.per_class_summary()
+        out["per_tenant"] = self.per_tenant_summary()
+        out["jain_fairness"] = self.jain_fairness_index()
+        out["preemptions"] = float(info.preemptions)
+        out["preempted_requests"] = float(info.preempted_requests)
+        out["wasted_seconds"] = float(info.wasted_seconds)
+        return out

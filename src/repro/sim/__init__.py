@@ -22,6 +22,7 @@ from repro.sim.kernel import (
 from repro.sim.scenario import Scenario, clamp_warmup, smoke_scale
 from repro.sim.sources import (
     ElasticitySource,
+    MultiTenantServingSource,
     PipelineStepSource,
     ServingSource,
     StreamBudgetSource,
@@ -34,6 +35,7 @@ __all__ = [
     "ElasticitySource",
     "EventQueue",
     "EventSource",
+    "MultiTenantServingSource",
     "PipelineStepSource",
     "Priority",
     "Scenario",

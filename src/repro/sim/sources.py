@@ -345,6 +345,125 @@ class ServingSource:
             self._schedule_wake()
 
 
+class MultiTenantServingSource(ServingSource):
+    """A :class:`ServingSource` with priority preemption of in-flight work.
+
+    Drives a multi-tenant admission queue (an object additionally
+    exposing ``highest_queued_priority`` / ``batch_priority`` /
+    ``batch_preemptible`` / ``requeue``) and splits the serve callback
+    into dispatch and completion halves so preempted batches can be
+    un-recorded: ``dispatch(batch, now, index)`` models and times the
+    batch, but its requests are only accounted when
+    ``complete(batch, start, execute)`` fires. An arrival of strictly
+    higher priority than a preemptible in-flight batch preempts it: the
+    scheduled completion is invalidated (a generation counter -- the
+    kernel has no event cancellation), the batch's requests are
+    re-queued at the *front* of their sub-queues with their fairness
+    credit refunded, and the partial execution is wasted work
+    (:attr:`wasted_seconds`). Preempted requests are never dropped:
+    they re-dispatch later, paying their full execute time again and a
+    queue time measured from their original arrival.
+
+    Arrivals are always eager (one ARRIVAL event per request): lazy
+    bulk admission would only observe arrivals at completions, exactly
+    the moments preemption must *interrupt*.
+
+    Attributes:
+        preemptions: In-flight batches preempted.
+        preempted_requests: Requests re-queued by preemptions.
+        wasted_seconds: Partial execute time thrown away.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence,
+        queue,
+        dispatch: Callable[[tuple, float, int], float],
+        complete: Callable[[tuple, float, float], None] | None = None,
+        preempted: Callable[[tuple, float, float], None] | None = None,
+        preemption: bool = True,
+    ) -> None:
+        super().__init__(requests, queue, dispatch, vectorized=False)
+        self._complete_cb = complete
+        self._preempted_cb = preempted
+        self._preemption = bool(preemption)
+        # (batch, start, execute, priority, preemptible) of the batch on
+        # the server, or None when idle.
+        self._inflight: tuple | None = None
+        # Bumped on every preemption; a completion scheduled for an
+        # older generation is stale and must not fire.
+        self._generation = 0
+        self.preemptions = 0
+        self.preempted_requests = 0
+        self.wasted_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, request) -> None:
+        if not self._queue.offer(request):
+            self.rejected.append(request)
+            return
+        if (
+            self._preemption
+            and self._busy
+            and self._inflight is not None
+            and self._inflight[4]  # the in-flight batch is preemptible
+        ):
+            queued = self._queue.highest_queued_priority()
+            if queued is not None and queued > self._inflight[3]:
+                self._preempt_inflight()
+        self._maybe_dispatch()
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if self._busy or not self._queue.queued_requests:
+            return
+        batch = self._queue.next_batch()
+        now = self._kernel.now
+        execute = self._serve(batch, now, self.num_batches)
+        self._busy = True
+        self._inflight = (
+            batch,
+            now,
+            execute,
+            self._queue.batch_priority(batch),
+            self._queue.batch_preemptible(batch),
+        )
+        self.num_batches += 1
+        generation = self._generation
+        self._kernel.schedule(
+            execute,
+            lambda: self._finish(generation),
+            Priority.COMPLETION,
+            label=f"complete[{self.num_batches - 1}]",
+        )
+
+    def _finish(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # stale completion of a batch preempted mid-flight
+        batch, start, execute, _, _ = self._inflight
+        self._inflight = None
+        self._busy = False
+        self.last_completion = self._kernel.now
+        if self._complete_cb is not None:
+            self._complete_cb(batch, start, execute)
+        self._maybe_dispatch()
+
+    def _preempt_inflight(self) -> None:
+        batch, start, _, _, _ = self._inflight
+        elapsed = self._kernel.now - start
+        self._generation += 1  # invalidate the scheduled completion
+        self._inflight = None
+        self._busy = False
+        self._queue.requeue(batch)
+        self.preemptions += 1
+        self.preempted_requests += len(batch)
+        self.wasted_seconds += elapsed
+        if self._preempted_cb is not None:
+            self._preempted_cb(batch, start, elapsed)
+
+
 class StreamBudgetSource:
     """Periodic bandwidth grants for the best-effort adjustment streams.
 

@@ -5,7 +5,9 @@ import json
 import pytest
 
 from repro.bench.serving import (
+    MULTITENANT_REPORT_FILENAME,
     REPORT_FILENAME,
+    multitenant_run,
     probe_batch_seconds,
     serving_run,
     write_report,
@@ -96,6 +98,59 @@ class TestServingRun:
         assert "regression" in payload
 
 
+@pytest.fixture(scope="module")
+def multitenant_result():
+    return multitenant_run(num_requests=120, seed=0)
+
+
+class TestMultiTenantRun:
+    def test_reports_cover_the_merged_stream(self, multitenant_result):
+        offered = sum(
+            row["num_requests"] for row in multitenant_result.tenants
+        )
+        for report in (multitenant_result.flexmoe, multitenant_result.fifo):
+            assert (
+                len(report.records) + len(report.rejected) == offered
+            )
+            assert report.tenancy is not None
+            assert report.tenancy.num_tenants == 3
+
+    def test_summary_shape(self, multitenant_result):
+        summary = multitenant_result.summary()
+        assert summary["suite"] == "multitenant_serving"
+        assert summary["regression"] == (not summary["ok"])
+        assert len(summary["tenants"]) == 3
+        for key in ("flexmoe", "fifo"):
+            section = summary[key]
+            assert set(section["per_class"]) == {"interactive", "batch"}
+            assert len(section["per_tenant"]) == 3
+            assert 0.0 <= section["jain_fairness"] <= 1.0
+        att = summary["interactive_attainment"]
+        assert summary["attainment_gain"] == att["flexmoe"] - att["fifo"]
+
+    def test_deterministic(self):
+        kwargs = dict(num_requests=80, seed=3)
+        assert multitenant_run(**kwargs).summary() == multitenant_run(
+            **kwargs
+        ).summary()
+
+    def test_acceptance_priority_beats_fifo_on_interactive(self):
+        """ISSUE-7 acceptance: priority admission strictly above
+        static+FIFO on interactive attainment, fairness above the
+        floor, and preemption actually exercised."""
+        result = multitenant_run(num_requests=200, seed=0)
+        assert result.ok
+        flex, fifo = result.flexmoe, result.fifo
+        assert result.interactive_attainment(
+            flex
+        ) > result.interactive_attainment(fifo)
+        assert flex.jain_fairness_index() >= result.fairness_floor
+        assert flex.tenancy.preemptions > 0
+        assert fifo.tenancy.preemptions == 0
+        assert flex.placement_actions > 0
+        assert fifo.placement_actions == 0
+
+
 class TestServeCLI:
     ARGS = [
         "serve",
@@ -145,3 +200,42 @@ class TestServeCLI:
         target = tmp_path / "missing-dir" / "report.json"
         assert main(self.ARGS + ["--output", str(target)]) == 2
         assert "cannot write report" in capsys.readouterr().err
+
+
+class TestServeMultiTenantCLI:
+    def test_smoke_gate_passes_and_writes_report(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["serve", "--multi-tenant", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "serve multi-tenant smoke: OK" in out
+        assert "FlexMoE+priority" in out
+        assert "Jain fairness" in out
+        payload = json.loads(
+            (tmp_path / MULTITENANT_REPORT_FILENAME).read_text()
+        )
+        assert payload["suite"] == "multitenant_serving"
+        assert payload["ok"] is True
+        assert payload["regression"] is False
+        att = payload["interactive_attainment"]
+        assert att["flexmoe"] > att["fifo"]
+        assert payload["jain_fairness"] >= payload["fairness_floor"]
+
+    def test_json_output_matches_disk(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["serve", "--multi-tenant", "--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(
+            (tmp_path / MULTITENANT_REPORT_FILENAME).read_text()
+        )
+        assert on_disk == payload
+
+    def test_output_override(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "custom.json"
+        assert main(
+            ["serve", "--multi-tenant", "--smoke", "--output", str(target)]
+        ) == 0
+        assert target.exists()
+        assert not (tmp_path / MULTITENANT_REPORT_FILENAME).exists()

@@ -23,10 +23,14 @@ from repro.config import (
 )
 from repro.runtime.pipeline import build_engine
 from repro.serving.admission import BatchingConfig
-from repro.serving.baseline import build_flexmoe_serving, build_static_serving
+from repro.serving.baseline import (
+    build_flexmoe_serving,
+    build_multitenant_serving,
+    build_static_serving,
+)
 from repro.serving.engine import TopicRoutingModel
-from repro.serving.requests import RequestStream, RequestStreamConfig
-from repro.serving.slo import SLOConfig
+from repro.serving.requests import RequestStream, RequestStreamConfig, TenantSpec
+from repro.serving.slo import SLOConfig, TenantClass
 from repro.training.loop import simulate_pipeline, simulate_training
 from repro.workload.synthetic import (
     DriftingRoutingGenerator,
@@ -281,3 +285,131 @@ class TestHotPathIdentity:
                 reports.append(builders[pick]().run(kernel=True))
             self._assert_reports_identical(reports[0], reports[1])
             assert reports[0].num_batches > 0
+
+
+def _multitenant_fixture(seed=0, vectorized=True, num_tenants=1):
+    """One-or-two-tenant servers sharing the scenario of _build_servers."""
+    num_layers, num_gpus, num_experts = 2, 8, 16
+    base = probe_batch_seconds(num_layers, num_gpus, num_experts, 4096,
+                               seed=seed)
+    slo = SLOConfig(
+        latency_target=8 * base,
+        trigger_p99=3 * base,
+        queue_limit_tokens=8192.0,
+    )
+    batching = BatchingConfig(max_batch_tokens=4096, max_queue_tokens=65_536)
+    rate = 0.9 * (4096 / base) / 512
+    stream = RequestStreamConfig(
+        arrival="bursty",
+        rate_rps=rate,
+        num_requests=100,
+        mean_tokens=512,
+        max_tokens=4096,
+        num_topics=4,
+        seed=seed,
+    )
+    tenants = [
+        TenantSpec(
+            name="only",
+            stream=stream,
+            tenant_class=TenantClass("interactive", slo, priority=10),
+        )
+    ]
+    if num_tenants == 2:
+        tenants.append(
+            TenantSpec(
+                name="bulk",
+                stream=stream.replace(
+                    arrival="poisson", rate_rps=rate / 4,
+                    num_requests=40, seed=seed + 1,
+                ),
+                tenant_class=TenantClass(
+                    "batch", SLOConfig(latency_target=32 * base)
+                ),
+                quota_tokens=2048,
+            )
+        )
+    model = MoEModelConfig(
+        name="sim-identity-serving",
+        num_layers=2 * num_layers,
+        d_model=1024,
+        d_ffn=8192,
+        num_experts=num_experts,
+    )
+    routing = TopicRoutingModel(num_layers, num_experts, 4, skew=2.0,
+                                seed=seed)
+    return dict(
+        cluster=cluster_for(num_gpus),
+        model=model,
+        tenants=tuple(tenants),
+        batching=batching,
+        num_moe_layers=num_layers,
+        routing=routing,
+        skew=2.0,
+        seed=seed,
+        vectorized=vectorized,
+    ), stream, slo
+
+
+class TestMultiTenantIdentity:
+    """ISSUE-7 contract: one-tenant multi-tenant serving reduces exactly
+    to the single-stream path, and the vectorized multi-tenant
+    bookkeeping changes no report field."""
+
+    def _assert_reports_identical(self, a, b):
+        assert a.records == b.records
+        assert a.rejected == b.rejected
+        assert a.num_batches == b.num_batches
+        assert a.sim_duration == b.sim_duration
+        assert a.placement_actions == b.placement_actions
+        assert a.summary() == b.summary()
+
+    def test_single_tenant_reduction_matches_single_stream_path(self):
+        """A one-tenant TenantSpec run (priority admission, preemption
+        armed but unreachable) is report-identical to the plain
+        single-stream dynamic server on the same seeded scenario."""
+        for vectorized in (True, False):
+            kwargs, stream, slo = _multitenant_fixture(
+                seed=0, vectorized=vectorized
+            )
+            mt_report = build_multitenant_serving(**kwargs).run()
+            requests = RequestStream(stream).generate()
+            plain_report = build_flexmoe_serving(
+                kwargs["cluster"], kwargs["model"], requests,
+                kwargs["batching"], slo,
+                num_moe_layers=kwargs["num_moe_layers"],
+                routing=kwargs["routing"], skew=2.0, seed=0,
+                vectorized=vectorized,
+            ).run()
+            self._assert_reports_identical(mt_report, plain_report)
+            assert mt_report.num_batches > 0
+            # The reduction still carries its tenancy section.
+            assert mt_report.tenancy is not None
+            assert plain_report.tenancy is None
+
+    def test_single_tenant_fifo_policy_also_reduces(self):
+        kwargs, stream, slo = _multitenant_fixture(seed=1)
+        mt_report = build_multitenant_serving(
+            **kwargs, admission_policy="fifo", preemption=False
+        ).run()
+        plain_report = build_flexmoe_serving(
+            kwargs["cluster"], kwargs["model"],
+            RequestStream(stream).generate(), kwargs["batching"], slo,
+            num_moe_layers=kwargs["num_moe_layers"],
+            routing=kwargs["routing"], skew=2.0, seed=1, vectorized=True,
+        ).run()
+        self._assert_reports_identical(mt_report, plain_report)
+
+    def test_multitenant_vectorized_matches_per_request_path(self):
+        """Columnar tenant bookkeeping vs per-request records on a real
+        two-tenant mix: identical reports, identical tenancy counters."""
+        reports = []
+        for vectorized in (True, False):
+            kwargs, _, _ = _multitenant_fixture(
+                seed=0, vectorized=vectorized, num_tenants=2
+            )
+            reports.append(build_multitenant_serving(**kwargs).run())
+        self._assert_reports_identical(reports[0], reports[1])
+        assert reports[0].tenancy == reports[1].tenancy
+        assert reports[0].per_class_summary() == reports[1].per_class_summary()
+        assert reports[0].num_batches > 0

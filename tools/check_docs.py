@@ -23,6 +23,10 @@ Four guarantees, all enforced in CI (see CONTRIBUTING.md):
    (re-)committed (``.gitignore`` keeps them out of the index;
    ``tests/test_repo_hygiene.py`` asserts the same from the tier-1
    suite).
+5. Every tracked benchmark report (``BENCH_*.json``) is referenced by
+   README.md or some docs/*.md, so a CI-gated artifact (e.g.
+   ``BENCH_multitenant.json``) cannot land without the doc explaining
+   what gates it.
 
 Exit status 0 on success, 1 with a report on any failure.
 """
@@ -187,6 +191,37 @@ def check_no_tracked_bytecode() -> list[str]:
     ]
 
 
+def check_bench_reports_documented() -> list[str]:
+    """Every tracked ``BENCH_*.json`` is referenced by README or docs/*.md.
+
+    A committed benchmark artifact is a CI contract; the docs must say
+    which harness produces it and what its ``ok`` marker gates. Skips
+    silently when git is unavailable (source tarball).
+    """
+    try:
+        listed = subprocess.run(
+            ["git", "ls-files", "BENCH_*.json"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if listed.returncode != 0:
+        return []
+    reports = [line for line in listed.stdout.splitlines() if line]
+    if not reports:
+        return []
+    corpus = "\n".join(p.read_text(encoding="utf-8") for p in doc_paths())
+    return [
+        f"tracked benchmark report {name} is not referenced by README.md "
+        "or any docs/*.md (document which harness writes it)"
+        for name in reports
+        if name not in corpus
+    ]
+
+
 def main() -> int:
     problems: list[str] = []
     for path in doc_paths():
@@ -198,6 +233,7 @@ def main() -> int:
         if path != arch:  # arch already checked (two-way) above
             problems.extend(check_module_refs(path))
     problems.extend(check_no_tracked_bytecode())
+    problems.extend(check_bench_reports_documented())
     if problems:
         print("docs check FAILED:")
         for problem in problems:
@@ -205,7 +241,8 @@ def main() -> int:
         return 1
     print(
         f"docs check OK ({len(doc_paths())} files, quickstart ran, "
-        "module map in sync, no tracked bytecode)"
+        "module map in sync, no tracked bytecode, bench reports "
+        "documented)"
     )
     return 0
 
