@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Closing the SLO loop: an autoscaler racing spot revocations.
+
+This walkthrough runs the paired capacity experiment behind
+``python -m repro churn`` by hand, so every moving part is visible:
+
+* a serving stream over a seed pool of 8 devices, with 8 more sitting
+  dark as standby capacity;
+* a :class:`repro.sim.churn.SpotRevocationSource` reclaiming correlated
+  device groups mid-stream, each wave announced a short notice window
+  early;
+* an :class:`repro.sim.sources.AutoscalerSource` watching the run's
+  rolling p99 / queue depth / SLO attainment, draining doomed devices
+  inside the notice window and provisioning replacements that arrive
+  late and cold.
+
+The same substrate, stream and revocation schedule run twice -- once
+with the controller, once with the fixed seed pool -- and the contrast
+is printed as a timeline plus the cost-weighted scoreboard.
+
+Run:
+    python examples/autoscale_churn.py
+
+Equivalent CLI (the full benchmark matrix + degradation pair):
+    python -m repro churn
+"""
+
+from repro.sim.churn import (
+    ChurnScenarioConfig,
+    build_churn_scenario,
+    device_seconds_provisioned,
+)
+
+
+def run_arm(config: ChurnScenarioConfig, autoscale: bool):
+    handles = build_churn_scenario(config, autoscale=autoscale)
+    kernel = handles.scenario.run()
+    report = handles.serving_run.report()
+    return handles, kernel, report
+
+
+def main() -> None:
+    config = ChurnScenarioConfig(num_requests=300, seed=0)
+    label = (
+        f"{config.seed_gpus} seed + {config.standby_gpus} standby devices, "
+        f"{config.num_waves} revocation waves x {config.wave_size} devices"
+    )
+    print(f"churn pair: {label}\n")
+
+    fixed_handles, _, fixed_report = run_arm(config, autoscale=False)
+    auto_handles, kernel, auto_report = run_arm(config, autoscale=True)
+    controller = auto_handles.autoscaler
+
+    print("controller timeline (the autoscaled arm):")
+    for time, gpus in auto_handles.spot.noticed:
+        print(
+            f"  t={time:8.3f} s  notice   gpus {list(gpus)} "
+            "(drain + replacement requests)"
+        )
+    for time, action, gpu in controller.decisions:
+        if action == "notice":
+            continue  # already shown as the wave's notice line
+        print(f"  t={time:8.3f} s  {action:<8} gpu {gpu}")
+    for time, gpus in auto_handles.spot.applied:
+        print(f"  t={time:8.3f} s  revoked  gpus {list(gpus)}")
+    print(
+        f"  {controller.scale_ups} scale-ups, "
+        f"{controller.scale_downs} scale-downs, "
+        f"{controller.notices} notices, "
+        f"{controller.drain_seconds:.3f} s of emergency drain copies"
+    )
+
+    print("\nscoreboard (same stream, same waves):")
+    duration_fixed = max(fixed_report.sim_duration, 0.0)
+    duration_auto = max(auto_report.sim_duration, 0.0)
+    rows = (
+        ("fixed pool", fixed_report, fixed_handles, duration_fixed),
+        ("autoscaled", auto_report, auto_handles, duration_auto),
+    )
+    for name, report, handles, duration in rows:
+        cost = device_seconds_provisioned(
+            handles.server.engine, config.seed_gpus, duration
+        )
+        goodput = report.goodput_tokens_per_s * duration
+        cwg = goodput / cost if cost > 0 else 0.0
+        print(
+            f"  {name:<11} attainment {report.slo_attainment:.3f}  "
+            f"p99 {1e3 * report.p99:8.3f} ms  "
+            f"cost {cost:8.1f} device-s  "
+            f"cost-weighted goodput {cwg:8.0f} tok/device-s"
+        )
+    gain = auto_report.slo_attainment - fixed_report.slo_attainment
+    print(f"  attainment gain from closing the loop: {gain:+.3f}")
+    print(f"  kernel processed {kernel.processed_events} events")
+
+    print(
+        "\nThe controller pays for every provisioned device-second, so the"
+        "\ncomparison is honest: see docs/autoscaling.md for the control"
+        "\nloop, the drain semantics, and the CI-gated benchmark matrix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Seven subcommands expose the simulation engine without writing any code:
+Eight subcommands expose the simulation engine without writing any code:
 
 * ``run``     — multi-layer pipelined FlexMoE run with an overlap-aware
   step-time breakdown and per-layer placement divergence;
@@ -27,7 +27,12 @@ Seven subcommands expose the simulation engine without writing any code:
   simulation kernel: serving under diurnal load WHILE devices fail and
   recover at wall-clock times WHILE a metered migration budget competes
   for bandwidth, written to ``BENCH_composed_scenario.json`` (see
-  ``docs/simulation.md``).
+  ``docs/simulation.md``);
+* ``churn``   — the closed SLO loop under capacity loss: paired
+  autoscaled-vs-fixed runs through spot revocation waves (plus outage,
+  heterogeneous-standby and multi-day variants) and the multi-tenant
+  graceful-degradation pair, written to ``BENCH_autoscale_churn.json``
+  (see ``docs/autoscaling.md``).
 
 Every benchmark in ``benchmarks/`` and example in ``examples/`` builds on
 the same harness functions these commands call, so the CLI is the quickest
@@ -361,6 +366,36 @@ def _add_scenario_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json", action="store_true", help="print the report too")
 
 
+def _add_churn_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "churn",
+        help="autoscaler vs fixed pool under spot churn + degradation pair",
+        description=(
+            "Close the SLO loop under capacity loss: paired "
+            "autoscaled-vs-fixed serving runs through correlated spot "
+            "revocation waves (plus outage, heterogeneous-standby and "
+            "multi-day variants), and a multi-tenant graceful-degradation "
+            "pair that sheds lowest-priority work first when devices "
+            "vanish. See docs/autoscaling.md."
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-scale matrix (shared smoke-duration policy); fails "
+        "unless the ok marker holds",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_autoscale_churn.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: "
+        "BENCH_autoscale_churn.json in the current directory)",
+    )
+    p.add_argument("--json", action="store_true", help="print the report too")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -375,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_parser(sub)
     _add_serve_parser(sub)
     _add_scenario_parser(sub)
+    _add_churn_parser(sub)
     return parser
 
 
@@ -958,6 +994,57 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.churn import churn_bench_run, write_churn_report
+
+    report = churn_bench_run(smoke=args.smoke, seed=args.seed)
+    try:
+        path = write_churn_report(report, Path(args.output))
+    except OSError as exc:
+        print(f"error: cannot write report to {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
+    ok = bool(report["ok"]) or not args.smoke
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    print(
+        "autoscale churn: paired autoscaled-vs-fixed serving under "
+        "correlated spot revocations"
+    )
+    for name, row in report["rows"].items():
+        fixed = row["fixed"]
+        autoscaled = row["autoscaled"]
+        controller = autoscaled["autoscaler"]
+        print(
+            f"  {name:<14} attainment {fixed['slo_attainment']:.3f} -> "
+            f"{autoscaled['slo_attainment']:.3f} "
+            f"(gain {row['attainment_gain']:+.3f}); cost-weighted goodput "
+            f"{fixed['cost_weighted_goodput']:.0f} -> "
+            f"{autoscaled['cost_weighted_goodput']:.0f} tokens/device-s; "
+            f"{controller['scale_ups']} scale-ups"
+        )
+    degradation = report["degradation"]
+    per_class_on = degradation["shed_on"]["serving"]["per_class"]
+    per_class_off = degradation["shed_off"]["serving"]["per_class"]
+    print(
+        "  degradation pair (capacity loss, shed off -> on): interactive "
+        f"{per_class_off['interactive']['slo_attainment']:.3f} -> "
+        f"{per_class_on['interactive']['slo_attainment']:.3f}, batch "
+        f"{per_class_off['batch']['slo_attainment']:.3f} -> "
+        f"{per_class_on['batch']['slo_attainment']:.3f}, "
+        f"{int(degradation['shed_on']['serving']['shed_requests'])} "
+        "batch-class requests shed (tracked, none silently dropped)"
+    )
+    print(f"  report written to {path}")
+    if args.smoke:
+        print("churn smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -968,6 +1055,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "perf": _cmd_perf,
         "serve": _cmd_serve,
         "scenario": _cmd_scenario,
+        "churn": _cmd_churn,
     }
     try:
         return handlers[args.command](args)

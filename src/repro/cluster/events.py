@@ -18,6 +18,15 @@ frozen cluster into a live one:
   evicts and re-homes experts off lost devices and refills recovered
   ones.
 
+Capacity events extend the same stream beyond repair semantics:
+``provision`` brings a standby device into the pool (possibly from a
+slower accelerator generation, via ``factor``) and ``revoke`` removes a
+device immediately, the way a spot-instance reclamation does. A pool
+built with ``initial_live`` keeps standby headroom dark until an
+autoscaler (:class:`~repro.sim.sources.AutoscalerSource`) provisions it,
+which is how the pool grows beyond its seed size mid-run. See
+``docs/autoscaling.md``.
+
 Static heterogeneity (mixed GPU generations) lives in
 :class:`~repro.config.ClusterConfig` scale factors and the profiled
 figures; :class:`ClusterState` tracks only the *dynamic* departures from
@@ -35,7 +44,7 @@ from repro.config import FaultConfig
 from repro.exceptions import ElasticityError
 
 #: Event kinds understood by the elastic runtime.
-EVENT_KINDS = ("fail", "recover", "slowdown", "restore")
+EVENT_KINDS = ("fail", "recover", "slowdown", "restore", "provision", "revoke")
 
 
 @dataclass(frozen=True)
@@ -47,9 +56,13 @@ class ClusterEvent:
             step's scheduling phase).
         kind: ``"fail"`` (device leaves the pool), ``"recover"`` (device
             rejoins, empty), ``"slowdown"`` (compute speed scaled by
-            ``factor``), ``"restore"`` (speed back to 1.0).
+            ``factor``), ``"restore"`` (speed back to 1.0),
+            ``"provision"`` (standby device joins the pool, empty and
+            cold, at ``factor`` speed -- a slower generation when below
+            1.0), ``"revoke"`` (device leaves immediately, spot-style).
         gpu: Global index of the affected device.
-        factor: Compute multiplier; only meaningful for ``"slowdown"``.
+        factor: Compute multiplier; meaningful for ``"slowdown"`` and
+            ``"provision"``.
     """
 
     step: int
@@ -80,10 +93,26 @@ class ClusterState:
     what-if evaluations never survive an elasticity event.
     """
 
-    def __init__(self, num_gpus: int) -> None:
+    def __init__(self, num_gpus: int, initial_live: int | None = None) -> None:
+        """Build a pool of ``num_gpus`` devices.
+
+        Args:
+            initial_live: When set, only the first ``initial_live``
+                devices start alive; the rest are dark standby headroom
+                an autoscaler can ``provision`` into the pool later.
+                ``None`` (default) starts every device alive.
+        """
         if num_gpus < 1:
             raise ElasticityError("num_gpus must be >= 1")
         self._alive = np.ones(num_gpus, dtype=bool)
+        if initial_live is not None:
+            if not 1 <= initial_live <= num_gpus:
+                raise ElasticityError(
+                    f"initial_live must be in [1, {num_gpus}], "
+                    f"got {initial_live}"
+                )
+            self._alive[initial_live:] = False
+        self._initial_alive = self._alive.copy()
         self._speed = np.ones(num_gpus, dtype=float)
         self._version = 0
 
@@ -101,8 +130,31 @@ class ClusterState:
 
     @property
     def pristine(self) -> bool:
-        """True when no event has degraded the pool (all alive, full speed)."""
-        return bool(self._alive.all()) and bool((self._speed == 1.0).all())
+        """True when no event has moved the pool off its initial state.
+
+        Standby headroom (``initial_live``) does not count against
+        pristineness: a pool is pristine while liveness matches the
+        construction-time layout and every device runs at full speed.
+        """
+        return bool(
+            (self._alive == self._initial_alive).all()
+        ) and bool((self._speed == 1.0).all())
+
+    @property
+    def initial_live(self) -> int:
+        """Number of devices alive at construction (the seed pool size)."""
+        return int(self._initial_alive.sum())
+
+    def initial_live_mask(self) -> np.ndarray:
+        """Boolean construction-time liveness vector (copy)."""
+        return self._initial_alive.copy()
+
+    def standby_gpus(self) -> tuple[int, ...]:
+        """Devices currently dark that were standby at construction."""
+        return tuple(
+            int(g)
+            for g in np.flatnonzero(~self._alive & ~self._initial_alive)
+        )
 
     @property
     def num_live(self) -> int:
@@ -154,6 +206,31 @@ class ClusterState:
         self._alive[gpu] = True
         self._speed[gpu] = 1.0
         self._version += 1
+
+    def provision(self, gpu: int, factor: float = 1.0) -> None:
+        """Bring a dark device into the pool at ``factor`` speed.
+
+        The joining device is empty and cold -- the runtime re-homes
+        experts onto it, exactly like a recovery refill. ``factor``
+        below 1.0 models a slower accelerator generation joining a
+        heterogeneous pool.
+        """
+        self._check_gpu(gpu)
+        if self._alive[gpu]:
+            raise ElasticityError(f"gpu {gpu} is already alive")
+        if factor <= 0:
+            raise ElasticityError(f"speed factor must be > 0, got {factor}")
+        self._alive[gpu] = True
+        self._speed[gpu] = float(factor)
+        self._version += 1
+
+    def revoke(self, gpu: int) -> None:
+        """Remove ``gpu`` immediately (spot-instance reclamation).
+
+        Pool rules match :meth:`fail`: the last live device cannot be
+        revoked, and revoking a dark device is an error.
+        """
+        self.fail(gpu)
 
     def set_speed(self, gpu: int, factor: float) -> None:
         """Set ``gpu``'s dynamic compute multiplier (1.0 = nominal)."""

@@ -91,6 +91,38 @@ class Placement:
         return cls(counts, slots_per_gpu)
 
     @classmethod
+    def balanced_subset(
+        cls,
+        num_experts: int,
+        num_gpus: int,
+        slots_per_gpu: int,
+        gpus: Iterable[int],
+    ) -> "Placement":
+        """Balanced layout striped over a subset of the GPU columns.
+
+        The count matrix keeps the full ``num_gpus`` width -- required by
+        every consumer that indexes columns by global GPU id -- but only
+        the listed ``gpus`` receive vExperts. Pools with dark standby
+        headroom (``ClusterState(initial_live=...)``) seed their
+        placement here so nothing lands on a device that has not been
+        provisioned yet. With ``gpus`` covering every column this is
+        exactly :meth:`balanced`.
+        """
+        active = sorted({int(g) for g in gpus})
+        if not active:
+            raise PlacementError("balanced_subset needs at least one GPU")
+        if active[0] < 0 or active[-1] >= num_gpus:
+            raise PlacementError(
+                f"subset gpus must be in [0, {num_gpus}), got {active}"
+            )
+        if len(active) == num_gpus:
+            return cls.balanced(num_experts, num_gpus, slots_per_gpu)
+        inner = cls.balanced(num_experts, len(active), slots_per_gpu)
+        counts = np.zeros((num_experts, num_gpus), dtype=np.int64)
+        counts[:, active] = inner.counts_view
+        return cls(counts, slots_per_gpu)
+
+    @classmethod
     def expert_parallel(cls, num_experts: int, num_gpus: int) -> "Placement":
         """Classic expert parallelism: experts striped 1-deep over GPUs.
 

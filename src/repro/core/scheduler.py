@@ -89,6 +89,7 @@ class Scheduler:
         self._trigger = trigger if trigger is not None else trigger_from_config(config)
         self._p99_latency: float | None = None
         self._queue_tokens: float | None = None
+        self._slo_attainment: float | None = None
         self._router = FlexibleTokenRouter()
         self._migration = MigrationPlanner(
             policy.cost_model,
@@ -134,17 +135,21 @@ class Scheduler:
         self,
         p99_latency: float | None = None,
         queue_tokens: float | None = None,
+        slo_attainment: float | None = None,
     ) -> None:
         """Record the latest serving-side signals for the trigger.
 
-        Online serving pushes its rolling p99 request latency and
-        admission-queue depth here before each batch's scheduling phase;
-        a :class:`~repro.core.trigger.LatencyTrigger` reads them from the
-        per-step :class:`~repro.core.trigger.TriggerSignals`. Training
-        triggers ignore them.
+        Online serving pushes its rolling p99 request latency,
+        admission-queue depth and rolling SLO attainment here before each
+        batch's scheduling phase; a
+        :class:`~repro.core.trigger.LatencyTrigger` (and any capacity
+        controller probing the scheduler) reads them from the per-step
+        :class:`~repro.core.trigger.TriggerSignals`. Training triggers
+        ignore them.
         """
         self._p99_latency = p99_latency
         self._queue_tokens = queue_tokens
+        self._slo_attainment = slo_attainment
 
     def _signals(self, step: int, metric: float | None) -> TriggerSignals:
         return TriggerSignals(
@@ -152,6 +157,7 @@ class Scheduler:
             balance_metric=metric,
             p99_latency=self._p99_latency,
             queue_tokens=self._queue_tokens,
+            slo_attainment=self._slo_attainment,
         )
     def current_metric(self, assignment: np.ndarray) -> float:
         loads = gpu_loads_even_split(assignment, self._placement)

@@ -59,12 +59,17 @@ class TriggerSignals:
             runs; ``None`` before any request completed or in training).
         queue_tokens: Tokens waiting in the admission queue (serving
             runs; ``None`` in training).
+        slo_attainment: Rolling fraction of served requests inside their
+            SLO (serving runs; ``None`` in training). Capacity
+            controllers (:class:`~repro.sim.sources.AutoscalerSource`)
+            read it alongside the latency signals.
     """
 
     step: int
     balance_metric: float | None = None
     p99_latency: float | None = None
     queue_tokens: float | None = None
+    slo_attainment: float | None = None
 
 
 @runtime_checkable

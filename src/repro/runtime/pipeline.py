@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -132,10 +132,19 @@ class LayerPipeline:
         )
         # Target placement: what the scheduler plans toward. Active
         # placement: what routing/execution actually use; commits lag by
-        # the best-effort stream's budget.
-        self._target = Placement.balanced(
-            model.num_experts, topology.num_gpus, config.slots_per_gpu
-        )
+        # the best-effort stream's budget. Pools with dark standby
+        # headroom seed the layout over the live devices only.
+        if cluster_state is not None and cluster_state.num_live < topology.num_gpus:
+            self._target = Placement.balanced_subset(
+                model.num_experts,
+                topology.num_gpus,
+                config.slots_per_gpu,
+                cluster_state.live_gpus(),
+            )
+        else:
+            self._target = Placement.balanced(
+                model.num_experts, topology.num_gpus, config.slots_per_gpu
+            )
         self._active = self._target.copy()
         policy = PolicyMaker(
             self._cost_model,
@@ -150,6 +159,7 @@ class LayerPipeline:
         self._pending: deque[list] = deque()
         self._committed_actions = 0
         self._dropped_actions = 0
+        self._floor_degradations = 0
         self._last_assignment: np.ndarray | None = None
 
     # ------------------------------------------------------------------
@@ -198,6 +208,14 @@ class LayerPipeline:
     def dropped_actions(self) -> int:
         """Queued actions discarded because a device failure obsoleted them."""
         return self._dropped_actions
+
+    @property
+    def floor_degradations(self) -> int:
+        """Re-home rounds where the live pool was smaller than the
+        configured ``min_replicas`` distinct-device floor, so replacement
+        planning degraded the floor to the pool size instead of raising
+        mid-run (correlated revocations can shrink the pool that far)."""
+        return self._floor_degradations
 
     # ------------------------------------------------------------------
     # Best-effort pipeline
@@ -328,6 +346,50 @@ class LayerPipeline:
         self._dropped_actions += len(dropped)
         return len(dropped)
 
+    def _find_pending_expand(
+        self, expert: int | None, gpu: int, safe: Sequence[int]
+    ) -> PlacementAction | None:
+        """The first queued Expand onto ``gpu`` (of ``expert`` if given).
+
+        Only expansions whose target-side replica still exists qualify:
+        stealing one must actually free a slot when undone on the
+        target, and a later queued action may have re-removed it. The
+        victim must also keep at least one other replica on a safe
+        device -- a steal that orphans another expert on the target just
+        moves the revocation loss around.
+        """
+        for entry in self._pending:
+            for action in entry[1]:
+                if not (
+                    isinstance(action, Expand)
+                    and action.gpu == gpu
+                    and (expert is None or action.expert == expert)
+                    and self._target.count(action.expert, gpu) > 0
+                ):
+                    continue
+                survivors = sum(
+                    self._target.count(action.expert, g)
+                    for g in safe
+                    if g != gpu
+                )
+                if survivors + self._target.count(action.expert, gpu) - 1 > 0:
+                    return action
+        return None
+
+    def _remove_pending_action(self, target: PlacementAction) -> None:
+        """Drop one queued action from the stream (by identity).
+
+        The entry's remaining transfer work is rescaled down like
+        :meth:`_drop_pending_touching` so surviving actions are not
+        delayed paying for the cancelled one.
+        """
+        for entry in self._pending:
+            if target in entry[1]:
+                before = len(entry[1])
+                entry[1] = tuple(a for a in entry[1] if a is not target)
+                entry[0] = entry[0] * len(entry[1]) / before
+                return
+
     def _cancel_orphaning_shrinks(self, dead: frozenset[int]) -> None:
         """Cancel pending Shrinks that the failure turned into death traps.
 
@@ -358,7 +420,20 @@ class LayerPipeline:
                     try:
                         self._target.add_vexpert(action.expert, action.gpu)
                     except PlacementError:
-                        continue  # slot since reused; try another shrink
+                        # Slot since reused -- usually by a queued Expand
+                        # of some well-replicated expert. The lifeline
+                        # outranks that plan: steal its slot if a victim
+                        # with another safe replica exists, else try
+                        # another shrink.
+                        steal = self._find_pending_expand(
+                            None, action.gpu, live_cols
+                        )
+                        if steal is None:
+                            continue
+                        self._remove_pending_action(steal)
+                        self._revert_on_target(steal)
+                        self._dropped_actions += 1
+                        self._target.add_vexpert(action.expert, action.gpu)
                     entry[1] = tuple(a for a in entry[1] if a is not action)
                     self._dropped_actions += 1
                     cancelled = True
@@ -412,12 +487,19 @@ class LayerPipeline:
         ensure_evictable(self._target, dead)
         evict_failed_gpus(self._active, dead)
         lost = evict_failed_gpus(self._target, dead)
+        floor = self._config.min_replicas
+        if len(live) < floor:
+            # Correlated revocations can shrink the pool below the
+            # distinct-device replication floor; a floor the pool cannot
+            # host must degrade (and be counted), not abort the run.
+            floor = max(1, len(live))
+            self._floor_degradations += 1
         rehome = plan_replacements(
             self._target,
             lost,
             live,
             profile=self._cost_model.profile,
-            min_replicas=self._config.min_replicas,
+            min_replicas=floor,
         )
         if not rehome:
             return 0.0
@@ -459,6 +541,145 @@ class LayerPipeline:
             return 0.0
         apply_actions(self._target, list(actions))
         return self._emit_actions(tuple(actions))
+
+    def prepare_drain(
+        self, doomed: tuple[int, ...], live: tuple[int, ...]
+    ) -> float:
+        """Re-home experts whose every replica sits on ``doomed`` devices.
+
+        A spot revocation notice gives the runtime a window before the
+        devices vanish. Orphan risk is judged against the ACTIVE
+        placement -- the replicas whose model states actually exist --
+        and every expert the revocation would orphan gets one
+        replacement replica copied onto a safe live device NOW, applied
+        to both placements immediately: an emergency copy racing the
+        revocation deadline cannot ride the lazy best-effort stream.
+        Sources and destinations must be valid on *both* placements (a
+        source replica the target has pending-shrunk may vanish before
+        the copy matters), which keeps the ``target == active +
+        pending`` invariant intact without touching the queued stream.
+        Returns the blocking seconds charged for the copies.
+        """
+        doomed_set = frozenset(doomed)
+        safe = [g for g in live if g not in doomed_set]
+        if not safe:
+            return 0.0
+        active_counts = self._active.counts_view
+        at_risk = np.flatnonzero(active_counts[:, safe].sum(axis=1) == 0)
+        if at_risk.size == 0:
+            return 0.0
+        profile = self._cost_model.profile
+        actions: list[PlacementAction] = []
+        for expert in at_risk:
+            expert = int(expert)
+            active_holders = self._active.gpus_of(expert)
+            if not active_holders:
+                continue
+            best: tuple[float, int, int, PlacementAction | None] | None = (
+                None
+            )
+            for dst in safe:
+                if (
+                    self._active.free_slots(dst) <= 0
+                    or self._active.count(expert, dst) != 0
+                ):
+                    continue
+                # A destination needs a TARGET slot too. Under heavy
+                # churn the scheduler's refills often pack every target
+                # slot with queued expansions; an emergency copy racing
+                # a revocation outranks those plans, so it may steal the
+                # slot of one queued Expand onto this device (preferring
+                # the expert's own -- the copy supersedes it).
+                steal: PlacementAction | None = None
+                if self._target.count(expert, dst) > 0:
+                    steal = self._find_pending_expand(expert, dst, safe)
+                    if steal is None:
+                        continue
+                elif self._target.free_slots(dst) <= 0:
+                    steal = self._find_pending_expand(None, dst, safe)
+                    if steal is None:
+                        continue
+                for src in active_holders:
+                    bandwidth = profile.link_bandwidth(src, dst)
+                    if best is None or bandwidth > best[0]:
+                        best = (bandwidth, int(src), int(dst), steal)
+            if best is None:
+                # Every safe device's ACTIVE slots are packed (small
+                # residual pools under repeated churn). The last resort
+                # evicts one redundant replica -- an expert keeping at
+                # least one other safe replica on BOTH placements -- to
+                # make room for the endangered states.
+                swap = self._plan_emergency_eviction(
+                    expert, active_holders, safe, profile
+                )
+                if swap is None:
+                    continue
+                src, dst, victim = swap
+                shrink = Shrink(expert=victim, gpu=dst)
+                shrink.apply(self._active)
+                shrink.apply(self._target)
+                actions.append(shrink)
+            else:
+                _, src, dst, steal = best
+                if steal is not None:
+                    self._remove_pending_action(steal)
+                    self._revert_on_target(steal)
+                    self._dropped_actions += 1
+            action = Expand(expert=expert, gpu=dst, source_gpu=src)
+            action.apply(self._active)
+            # The active-side source may be a doomed device the target
+            # has already written off (its states exist until the
+            # deadline, so the physical copy is valid); the target-side
+            # ledger only needs the replica booked at the destination.
+            self._target.add_vexpert(expert, dst)
+            actions.append(action)
+        if not actions:
+            return 0.0
+        self._committed_actions += len(actions)
+        return self._stream_work_seconds(tuple(actions))
+
+    def _plan_emergency_eviction(
+        self,
+        expert: int,
+        active_holders: Sequence[int],
+        safe: Sequence[int],
+        profile,
+    ) -> tuple[int, int, int] | None:
+        """Pick ``(src, dst, victim)`` for a drain swap onto a full device.
+
+        The victim replica must exist at ``dst`` on both placements and
+        its expert must keep at least one other safe-device replica on
+        both -- evicting it frees a slot without endangering anyone.
+        Among valid destinations the highest ``src -> dst`` bandwidth
+        wins; among victims at one destination, the most replicated.
+        """
+        active = self._active.counts_view
+        target = self._target.counts_view
+        active_safe = active[:, safe].sum(axis=1)
+        target_safe = target[:, safe].sum(axis=1)
+        best: tuple[float, int, int, int] | None = None
+        for dst in safe:
+            if self._active.count(expert, dst) != 0:
+                continue
+            victims = [
+                int(v)
+                for v in np.flatnonzero(
+                    (active[:, dst] > 0) & (target[:, dst] > 0)
+                )
+                if v != expert
+                and active_safe[v] - 1 >= 1
+                and target_safe[v] - 1 >= 1
+            ]
+            if not victims:
+                continue
+            victim = max(victims, key=lambda v: active_safe[v] + target_safe[v])
+            for src in active_holders:
+                bandwidth = profile.link_bandwidth(src, dst)
+                if best is None or bandwidth > best[0]:
+                    best = (bandwidth, int(src), int(dst), victim)
+        if best is None:
+            return None
+        return best[1], best[2], best[3]
 
 
 @dataclass
@@ -673,21 +894,38 @@ class MultiLayerFlexMoEEngine:
         """Elasticity events applied so far, as ``(step, event)`` pairs."""
         return tuple(self._event_log)
 
+    @property
+    def committed_actions(self) -> int:
+        """Placement actions committed to the ACTIVE placements so far,
+        summed across layers -- regardless of whether the commit happened
+        in-step or through an external stream-budget grant."""
+        return sum(layer.committed_actions for layer in self._layers)
+
+    @property
+    def floor_degradations(self) -> int:
+        """Re-home rounds (across layers) where the live pool was below
+        the ``min_replicas`` floor and planning degraded to pool size."""
+        return sum(layer.floor_degradations for layer in self._layers)
+
     def observe_serving_signals(
         self,
         p99_latency: float | None = None,
         queue_tokens: float | None = None,
+        slo_attainment: float | None = None,
     ) -> None:
         """Push the latest serving signals to every layer's Scheduler.
 
         The serving engine calls this before each batch so the layers'
-        :class:`~repro.core.trigger.LatencyTrigger` instances see the
-        current rolling p99 latency and admission-queue depth. Training
-        runs never call it.
+        :class:`~repro.core.trigger.LatencyTrigger` instances (and any
+        capacity controller probing the schedulers) see the current
+        rolling p99 latency, admission-queue depth and SLO attainment.
+        Training runs never call it.
         """
         for layer in self._layers:
             layer.scheduler.observe_serving_signals(
-                p99_latency=p99_latency, queue_tokens=queue_tokens
+                p99_latency=p99_latency,
+                queue_tokens=queue_tokens,
+                slo_attainment=slo_attainment,
             )
 
     # ------------------------------------------------------------------
@@ -730,7 +968,7 @@ class MultiLayerFlexMoEEngine:
         failed: list[int] = []
         recovered: list[int] = []
         for event in events:
-            if event.kind == "fail":
+            if event.kind in ("fail", "revoke"):
                 if not state.is_alive(event.gpu):
                     continue  # redundant event; the device is already gone
                 state.fail(event.gpu)
@@ -739,6 +977,11 @@ class MultiLayerFlexMoEEngine:
                 if state.is_alive(event.gpu):
                     continue
                 state.recover(event.gpu)
+                recovered.append(event.gpu)
+            elif event.kind == "provision":
+                if state.is_alive(event.gpu):
+                    continue
+                state.provision(event.gpu, event.factor)
                 recovered.append(event.gpu)
             elif event.kind == "slowdown":
                 state.set_speed(event.gpu, event.factor)
@@ -754,6 +997,32 @@ class MultiLayerFlexMoEEngine:
             for layer in self._layers:
                 blocking += layer.handle_recovery(gpu)
         self._pending_event_blocking += blocking
+
+    def notify_revocation(self, gpus: tuple[int, ...] | list[int]) -> float:
+        """React inside a revocation-notice window: drain ``gpus`` NOW.
+
+        Every layer copies would-be-orphaned experts off the noticed
+        devices onto safe live ones before the revocation lands, so the
+        later ``revoke`` events find nothing irreplaceable. The copies
+        run on the adjustment fabric concurrently with serving -- the
+        notice window exists precisely to absorb them -- so they are NOT
+        charged as synchronous serving blocking; the fabric seconds they
+        consume are returned for the caller's drain accounting.
+        """
+        state = self._cluster_state
+        if state is None:
+            raise SimulationError(
+                "engine has no cluster state; revocation notices need an "
+                "elastic engine"
+            )
+        doomed = tuple(int(g) for g in gpus if state.is_alive(int(g)))
+        if not doomed:
+            return 0.0
+        live = state.live_gpus()
+        blocking = 0.0
+        for layer in self._layers:
+            blocking += layer.prepare_drain(doomed, live)
+        return blocking
 
     # ------------------------------------------------------------------
     # Step (three kernel-hostable phases; ``step`` composes them)
@@ -943,6 +1212,7 @@ def build_engine(
     elasticity: ElasticitySchedule | None = None,
     trigger_factory: Callable[[], Trigger] | None = None,
     inference: bool = False,
+    initial_live: int | None = None,
 ) -> MultiLayerFlexMoEEngine:
     """Construct a multi-layer engine with a fresh simulated substrate.
 
@@ -962,7 +1232,9 @@ def build_engine(
         profile_noise=profile_noise,
         jitter=jitter,
         cluster_state=(
-            ClusterState(cluster.num_gpus) if elasticity is not None else None
+            ClusterState(cluster.num_gpus, initial_live=initial_live)
+            if elasticity is not None
+            else None
         ),
         inference=inference,
     )

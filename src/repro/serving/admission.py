@@ -199,6 +199,21 @@ class PriorityAdmissionQueue:
             backpressure still apply). With one tenant and no per-tenant
             bounds, both policies reduce exactly to
             :class:`AdmissionQueue`.
+        shed_low_priority: Graceful degradation under capacity loss.
+            When global backpressure would reject an arrival, queued
+            requests of *strictly lower* priority are shed from the
+            tails of their sub-queues (lowest level first) until the
+            arrival fits; the arrival is only rejected when no amount of
+            lower-priority shedding frees enough room. Shed requests are
+            never silently dropped: each is recorded (:attr:`shed`,
+            per-tenant counters) and the report folds them into the
+            rejected set, so they count as SLO misses exactly like
+            ordinary rejections. The effect is that interactive SLO
+            attainment degrades *last* when the pool shrinks -- batch
+            load absorbs the capacity loss first. Requires the
+            ``"priority"`` policy (FIFO has no priority order to shed
+            by). Default off, preserving the established rejection
+            behaviour byte for byte.
     """
 
     def __init__(
@@ -207,12 +222,18 @@ class PriorityAdmissionQueue:
         tenants: Sequence[TenantSpec],
         collect_meta: bool = False,
         policy: str = "priority",
+        shed_low_priority: bool = False,
     ) -> None:
         if not tenants:
             raise ConfigurationError("tenants must not be empty")
         if policy not in ADMISSION_POLICIES:
             raise ConfigurationError(
                 f"policy must be one of {ADMISSION_POLICIES}, got {policy!r}"
+            )
+        if shed_low_priority and policy != "priority":
+            raise ConfigurationError(
+                "shed_low_priority requires the 'priority' admission "
+                "policy: FIFO admission has no priority order to shed by"
             )
         self._config = config
         self._tenants = tuple(tenants)
@@ -239,6 +260,9 @@ class PriorityAdmissionQueue:
         self._queued_tokens = 0
         self._queued_requests = 0
         self._rejected = 0
+        self._shed_low_priority = bool(shed_low_priority)
+        self._shed: list[Request] = []
+        self._shed_counts = [0] * len(self._tenants)
         self._collect_meta = bool(collect_meta)
         self.last_batch_arrivals: np.ndarray | None = None
         self.last_batch_tokens: np.ndarray | None = None
@@ -273,6 +297,24 @@ class PriorityAdmissionQueue:
     def rejected_requests(self) -> int:
         """Arrivals turned away by backpressure so far."""
         return self._rejected
+
+    @property
+    def shed(self) -> tuple[Request, ...]:
+        """Queued requests shed to make room for higher-priority arrivals.
+
+        Degraded load, tracked explicitly: the serving report folds
+        these into its rejected set so every shed request is accounted
+        as an SLO miss.
+        """
+        return tuple(self._shed)
+
+    @property
+    def shed_requests(self) -> int:
+        return len(self._shed)
+
+    def shed_by_tenant(self, tenant: int) -> int:
+        """How many of ``tenant``'s queued requests were shed so far."""
+        return self._shed_counts[tenant]
 
     def tenant_queued_tokens(self, tenant: int) -> int:
         return self._tenant_tokens[tenant]
@@ -323,8 +365,11 @@ class PriorityAdmissionQueue:
             and self._queued_requests
             and self._queued_tokens + request.tokens > limit
         ):
-            self._rejected += 1
-            return False
+            if not (
+                self._shed_low_priority and self._shed_for(request, limit)
+            ):
+                self._rejected += 1
+                return False
         tenant_limit = self._tenants[tenant].max_queue_tokens
         if (
             tenant_limit is not None
@@ -340,6 +385,53 @@ class PriorityAdmissionQueue:
         self._tenant_tokens[tenant] += request.tokens
         self._queued_tokens += request.tokens
         self._queued_requests += 1
+        return True
+
+    def _shed_for(self, request: Request, limit: int) -> bool:
+        """Shed strictly-lower-priority queued work until ``request`` fits.
+
+        Walks priority levels bottom-up, strictly below the arrival's
+        level, popping from the *tail* of the fullest member sub-queue
+        (newest queued work goes first -- it has waited least). Nothing
+        is shed unless the freed room actually admits the arrival: the
+        candidate pops are only committed once enough tokens are freed,
+        so a hopeless arrival cannot evict work and then bounce anyway.
+        """
+        arrival_level = self._priorities[request.tenant]
+        needed = self._queued_tokens + request.tokens - limit
+        victims: list[Request] = []
+        freed = 0
+        for level, members in reversed(self._levels):
+            if level >= arrival_level:
+                break
+            pools = {t: list(self._queues[t]) for t in members}
+            while freed < needed:
+                tenant = max(
+                    (t for t in members if pools[t]),
+                    key=lambda t: (
+                        sum(r.tokens for r in pools[t]),
+                        t,
+                    ),
+                    default=None,
+                )
+                if tenant is None:
+                    break
+                victim = pools[tenant].pop()
+                victims.append(victim)
+                freed += victim.tokens
+            if freed >= needed:
+                break
+        if freed < needed:
+            return False
+        for victim in victims:
+            queue = self._queues[victim.tenant]
+            removed = queue.pop()
+            assert removed is victim  # tails pop in planning order
+            self._tenant_tokens[victim.tenant] -= victim.tokens
+            self._queued_tokens -= victim.tokens
+            self._queued_requests -= 1
+            self._shed_counts[victim.tenant] += 1
+            self._shed.append(victim)
         return True
 
     # ------------------------------------------------------------------

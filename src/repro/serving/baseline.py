@@ -92,8 +92,15 @@ def build_flexmoe_serving(
     skew: float = 1.3,
     seed: int = 0,
     vectorized: bool = True,
+    initial_live: int | None = None,
 ) -> ServingEngine:
-    """The dynamic server: SLO-triggered placement over the live pool."""
+    """The dynamic server: SLO-triggered placement over the live pool.
+
+    ``initial_live`` starts the pool smaller than the substrate: the
+    first ``initial_live`` devices serve from the seed layout while the
+    rest sit dark as standby capacity an
+    :class:`~repro.sim.sources.AutoscalerSource` can provision into.
+    """
     engine = build_engine(
         cluster,
         model,
@@ -103,6 +110,7 @@ def build_flexmoe_serving(
         ),
         elasticity=elasticity,
         seed=seed,
+        initial_live=initial_live,
         trigger_factory=lambda: LatencyTrigger(
             p99_target=slo.effective_trigger_p99,
             queue_limit_tokens=slo.queue_limit_tokens,
@@ -164,6 +172,8 @@ def build_multitenant_serving(
     dynamic: bool = True,
     admission_policy: str = "priority",
     preemption: bool = True,
+    shed_low_priority: bool = False,
+    initial_live: int | None = None,
 ) -> ServingEngine:
     """A multi-tenant server: priority admission over either placement mode.
 
@@ -182,6 +192,12 @@ def build_multitenant_serving(
             discipline).
         preemption: Whether higher-priority arrivals preempt preemptible
             in-flight batches.
+        shed_low_priority: Graceful degradation: under global
+            backpressure, shed strictly-lower-priority queued work
+            (tracked per tenant, folded into rejections) instead of
+            rejecting the higher-priority arrival.
+        initial_live: Start the pool smaller than the substrate; the
+            remaining devices sit dark as autoscaler standby capacity.
     """
     slo = strictest_tenant_slo(tenants)
     engine = build_engine(
@@ -193,6 +209,7 @@ def build_multitenant_serving(
         ),
         elasticity=elasticity,
         seed=seed,
+        initial_live=initial_live,
         trigger_factory=(
             (
                 lambda: LatencyTrigger(
@@ -211,4 +228,5 @@ def build_multitenant_serving(
         engine, requests, batching, slo, routing=routing, skew=skew,
         seed=seed, vectorized=vectorized, tenants=tenants,
         admission_policy=admission_policy, preemption=preemption,
+        shed_low_priority=shed_low_priority,
     )

@@ -187,6 +187,13 @@ class ServingEngine:
             ``"fifo"`` (global arrival order, the baseline discipline).
         preemption: Whether higher-priority arrivals preempt preemptible
             lower-priority in-flight batches (multi-tenant mode only).
+        shed_low_priority: Graceful degradation under capacity loss
+            (multi-tenant mode only): when global backpressure would
+            reject an arrival, strictly-lower-priority queued work is
+            shed -- tracked per tenant and folded into the rejected set,
+            never silently dropped -- so interactive SLO attainment
+            degrades last. See
+            :class:`~repro.serving.admission.PriorityAdmissionQueue`.
     """
 
     name = "FlexMoE-serving"
@@ -205,6 +212,7 @@ class ServingEngine:
         tenants: Sequence[TenantSpec] | None = None,
         admission_policy: str = "priority",
         preemption: bool = True,
+        shed_low_priority: bool = False,
     ) -> None:
         if not 0 < popularity_smoothing <= 1:
             raise ConfigurationError(
@@ -256,9 +264,15 @@ class ServingEngine:
         self._rng = np.random.default_rng(seed)
         self._smoothing = popularity_smoothing
         self._vectorized = bool(vectorized)
+        if shed_low_priority and tenants is None:
+            raise ConfigurationError(
+                "shed_low_priority requires multi-tenant mode: the "
+                "single-stream queue has no priority order to shed by"
+            )
         self._tenants = tuple(tenants) if tenants is not None else None
         self._admission_policy = admission_policy
         self._preemption = bool(preemption)
+        self._shed_low_priority = bool(shed_low_priority)
         self._demand_estimate: np.ndarray | None = None
         self._report: ServingReport | None = None
 
@@ -540,6 +554,9 @@ class _ServingRun:
         server._engine.observe_serving_signals(
             p99_latency=self.window.p99(),
             queue_tokens=float(self.queue.queued_tokens),
+            slo_attainment=self.window.attainment(
+                server.slo.latency_target
+            ),
         )
         queue_col: np.ndarray | None = None
         if self._vectorized:
@@ -687,6 +704,7 @@ class _MultiTenantRun(_ServingRun):
             engine._tenants,
             collect_meta=self._vectorized,
             policy=engine._admission_policy,
+            shed_low_priority=engine._shed_low_priority,
         )
         # The in-flight batch's queue-time column, stashed at dispatch
         # for the completion (or discarded by a preemption). At most one
@@ -717,6 +735,10 @@ class _MultiTenantRun(_ServingRun):
     def report(self) -> ServingReport:
         source = self.source
         tenants = self._server._tenants
+        # Shed requests are degraded load, not vanished load: they fold
+        # into the rejected set (counting as SLO misses everywhere) and
+        # the tenancy counters attribute them per tenant.
+        shed = self.queue.shed
         info = TenancyInfo(
             names=tuple(t.name for t in tenants),
             class_names=tuple(t.tenant_class.name for t in tenants),
@@ -726,9 +748,13 @@ class _MultiTenantRun(_ServingRun):
             preemptions=source.preemptions,
             preempted_requests=source.preempted_requests,
             wasted_seconds=source.wasted_seconds,
+            shed_requests=len(shed),
+            shed_by_tenant=tuple(
+                self.queue.shed_by_tenant(t) for t in range(len(tenants))
+            ),
         )
         base = self.legacy_report(
-            rejected=tuple(source.rejected),
+            rejected=tuple(source.rejected) + shed,
             num_batches=source.num_batches,
             sim_duration=source.last_completion,
         )

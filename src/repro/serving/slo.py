@@ -120,6 +120,12 @@ class TenancyInfo:
             twice).
         wasted_seconds: Simulated execute time thrown away by
             preemptions (the preempted batches re-execute in full).
+        shed_requests: Queued requests shed by graceful degradation
+            (lower-priority work evicted to admit higher-priority
+            arrivals under backpressure). Shed requests are folded into
+            the report's rejected set -- these counters attribute them.
+        shed_by_tenant: Per-tenant shed counts; empty when the run never
+            enabled shedding.
     """
 
     names: tuple[str, ...]
@@ -130,6 +136,8 @@ class TenancyInfo:
     preemptions: int = 0
     preempted_requests: int = 0
     wasted_seconds: float = 0.0
+    shed_requests: int = 0
+    shed_by_tenant: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         n = len(self.names)
@@ -254,6 +262,16 @@ class LatencyWindow:
         if gamma >= 0.5:
             return b - diff * (1.0 - gamma)
         return a + diff * gamma
+
+    def attainment(self, target: float) -> float | None:
+        """Rolling SLO attainment: the fraction of the window's
+        latencies at or under ``target``, or ``None`` before any request
+        completed. The capacity controller's third pressure signal --
+        p99 reacts to the tail, queue depth to backlog, attainment to
+        sustained widespread misses."""
+        if not self._size:
+            return None
+        return float((self._buffer[: self._size] <= target).mean())
 
 
 @dataclass(frozen=True)
@@ -446,6 +464,11 @@ class ServingReport:
                     if len(served)
                     else float("inf")
                 ),
+                "requests_shed": (
+                    float(info.shed_by_tenant[t])
+                    if info.shed_by_tenant
+                    else 0.0
+                ),
                 "slo_attainment": good / offered if offered else 1.0,
             }
         return out
@@ -469,6 +492,7 @@ class ServingReport:
                     "slo_latency_s": info.slos[t].latency_target,
                     "requests_served": 0.0,
                     "requests_rejected": 0.0,
+                    "requests_shed": 0.0,
                     "served_tokens": 0.0,
                     "slo_attainment_hits": 0.0,
                 },
@@ -476,6 +500,8 @@ class ServingReport:
             target = info.slos[t].latency_target
             entry["requests_served"] += len(records[t])
             entry["requests_rejected"] += len(rejected[t])
+            if info.shed_by_tenant:
+                entry["requests_shed"] += info.shed_by_tenant[t]
             entry["served_tokens"] += sum(
                 r.request.tokens for r in records[t]
             )
@@ -526,4 +552,5 @@ class ServingReport:
         out["preemptions"] = float(info.preemptions)
         out["preempted_requests"] = float(info.preempted_requests)
         out["wasted_seconds"] = float(info.wasted_seconds)
+        out["shed_requests"] = float(info.shed_requests)
         return out

@@ -21,6 +21,7 @@ from repro.sim.kernel import (
 )
 from repro.sim.scenario import Scenario, clamp_warmup, smoke_scale
 from repro.sim.sources import (
+    AutoscalerSource,
     ElasticitySource,
     MultiTenantServingSource,
     PipelineStepSource,
@@ -32,6 +33,7 @@ from repro.sim.sources import (
 
 __all__ = [
     "Actor",
+    "AutoscalerSource",
     "ElasticitySource",
     "EventQueue",
     "EventSource",

@@ -293,12 +293,24 @@ def composed_scenario_run(
     unaccounted = config.num_requests - len(report.records) - len(
         report.rejected
     )
+    # The engine's committed-action counter is the authoritative total:
+    # every action that reached an ACTIVE placement, whether the commit
+    # happened in-step or through a budget grant. With stream_budget=0
+    # the serving report's own counter stays at zero and the budget
+    # source accounts for everything; the reconciliation below pins that
+    # the three counters never drift apart.
+    total_committed = engine.committed_actions
+    actions_reconciled = (
+        total_committed
+        == handles.budget.committed + report.placement_actions
+    )
     ok = (
         len(report.records) > 0
         and unaccounted == 0
         and events_applied == 2 * config.num_failures
         and handles.budget.grants > 0
         and (config.num_failures == 0 or handles.budget.committed > 0)
+        and actions_reconciled
         and _experts_survive(engine)
     )
     return {
@@ -314,9 +326,9 @@ def composed_scenario_run(
         "requests_unaccounted": unaccounted,
         "budget_grants": handles.budget.grants,
         "budget_committed_actions": handles.budget.committed,
-        "placement_actions_total": (
-            handles.budget.committed + report.placement_actions
-        ),
+        "engine_committed_actions": total_committed,
+        "placement_actions_total": total_committed,
+        "placement_actions_reconciled": actions_reconciled,
         "processed_events": kernel.processed_events,
         "experts_survive": _experts_survive(engine),
         "ok": ok,

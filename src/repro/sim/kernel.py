@@ -55,6 +55,10 @@ class Priority(IntEnum):
     #: Scheduling/monitoring: triggers observe the (post-elasticity)
     #: assignment and emit placement actions.
     TRIGGER = 10
+    #: Capacity control: autoscaler evaluation ticks observe the
+    #: post-trigger signals and emit provisioning decisions before any
+    #: same-instant serving events run.
+    CONTROL = 15
     #: A batch finishing execution (serving) -- frees the server before
     #: same-instant arrivals are admitted.
     COMPLETION = 20

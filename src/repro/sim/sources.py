@@ -16,7 +16,14 @@ Each class here turns one formerly-bespoke loop into an
   logic the serving engine used to hand-roll);
 * :class:`StreamBudgetSource` -- periodic bandwidth grants draining the
   engines' best-effort adjustment streams, so background migration
-  traffic competes for bandwidth as an explicit budgeted event stream.
+  traffic competes for bandwidth as an explicit budgeted event stream;
+* :class:`AutoscalerSource` -- the closed capacity loop: periodic
+  CONTROL ticks read the serving SLO signals
+  (:class:`~repro.core.trigger.TriggerSignals`) and emit ``provision`` /
+  ``revoke`` capacity events -- scale-ups arrive late and cold after a
+  provisioning delay, removals are immediate -- and revocation notices
+  from a churn schedule are answered inside the notice window (drain
+  doomed devices, request replacements). See ``docs/autoscaling.md``.
 
 Sources are duck-typed over the engine/trace/queue objects they drive
 (no imports from :mod:`repro.runtime` or :mod:`repro.serving`), so this
@@ -25,8 +32,9 @@ module sits below both and either side can compose with the other.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
+from repro.cluster.events import ClusterEvent
 from repro.exceptions import SimulationError
 from repro.sim.kernel import Priority, SimKernel
 
@@ -512,3 +520,241 @@ class StreamBudgetSource:
                 Priority.STREAM,
                 label=f"budget[{tick}]",
             )
+
+
+class AutoscalerSource:
+    """Closed-loop capacity controller on the shared kernel.
+
+    Every ``interval`` simulated seconds a ``(t, CONTROL)`` tick reads
+    the current serving signals through ``probe`` (a callable returning
+    a :class:`~repro.core.trigger.TriggerSignals`-shaped object) and
+    drives the pool through capacity events:
+
+    * **Scale-up** -- when the signals show SLO pressure (rolling p99
+      above ``p99_target``, queue depth above ``queue_limit_tokens``, or
+      rolling attainment below ``attainment_floor``), the next standby
+      device is requested. It joins ``provisioning_delay`` seconds
+      later, empty and cold (a ``provision`` event the runtime answers
+      with a recovery-style refill) -- new nodes arrive late, exactly
+      like real cloud capacity.
+    * **Scale-down** -- after ``scale_down_after`` consecutive calm
+      ticks (no pressure signal and the queue near-empty), the most
+      recently provisioned device is revoked *immediately* and returned
+      to the standby pool. Only devices this controller provisioned are
+      ever removed, so the pool never shrinks below its seed size by
+      autoscaling alone.
+    * **Revocation notices** -- a churn schedule calls
+      :meth:`on_revocation_notice` when spot devices receive their
+      reclamation warning; the controller drains them NOW (emergency
+      copies via the engine's ``notify_revocation``) and requests one
+      standby replacement per doomed device, racing the notice window.
+
+    Heterogeneous pools: ``speed_factors`` maps a standby device to the
+    compute factor it joins with (a slower accelerator generation below
+    1.0); unlisted devices join at full speed.
+
+    Attributes:
+        decisions: ``(time, action, gpu)`` tuples -- ``action`` is one
+            of ``"request"``, ``"provision"``, ``"revoke"``,
+            ``"notice"``.
+        scale_ups: Provision events delivered to the engine.
+        scale_downs: Autoscaler-initiated revocations.
+        notices: Revocation notices received.
+        drain_seconds: Blocking seconds spent on notice-window drains.
+    """
+
+    def __init__(
+        self,
+        engine,
+        probe: Callable[[], object],
+        scalable_gpus: Sequence[int],
+        interval: float,
+        provisioning_delay: float,
+        p99_target: float,
+        queue_limit_tokens: float | None = None,
+        attainment_floor: float | None = None,
+        scale_down_after: int = 0,
+        scale_down_margin: float = 0.5,
+        speed_factors: Mapping[int, float] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"tick interval must be > 0, got {interval}")
+        if provisioning_delay < 0:
+            raise SimulationError(
+                f"provisioning delay must be >= 0, got {provisioning_delay}"
+            )
+        if p99_target <= 0:
+            raise SimulationError(f"p99_target must be > 0, got {p99_target}")
+        if not 0 < scale_down_margin <= 1.0:
+            raise SimulationError(
+                f"scale_down_margin must be in (0, 1], got {scale_down_margin}"
+            )
+        self._engine = engine
+        self._probe = probe
+        self._standby: list[int] = [int(g) for g in scalable_gpus]
+        self._interval = float(interval)
+        self._delay = float(provisioning_delay)
+        self._p99_target = float(p99_target)
+        self._queue_limit = (
+            None if queue_limit_tokens is None else float(queue_limit_tokens)
+        )
+        self._attainment_floor = (
+            None if attainment_floor is None else float(attainment_floor)
+        )
+        self._scale_down_after = int(scale_down_after)
+        self._scale_down_margin = float(scale_down_margin)
+        self._speed_factors = dict(speed_factors or {})
+        self._kernel: SimKernel | None = None
+        self._horizon: float | None = None
+        self._scaled_up: list[int] = []  # LIFO scale-down order
+        self._outstanding = 0  # requested but not yet arrived
+        self._calm_ticks = 0
+        self.decisions: list[tuple[float, str, int]] = []
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.notices = 0
+        self.drain_seconds = 0.0
+
+    @property
+    def provisioned_gpus(self) -> tuple[int, ...]:
+        """Devices currently in the pool because this controller added them."""
+        return tuple(self._scaled_up)
+
+    def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
+        if scenario.duration is None:
+            raise SimulationError(
+                "AutoscalerSource requires a scenario with a finite duration"
+            )
+        self._kernel = kernel
+        self._horizon = float(scenario.duration)
+        ticks = int(scenario.duration / self._interval)
+        for tick in range(1, ticks + 1):
+            kernel.schedule_at(
+                tick * self._interval,
+                self._evaluate,
+                Priority.CONTROL,
+                label=f"autoscale[{tick}]",
+            )
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _pressure(self, signals) -> bool:
+        p99 = getattr(signals, "p99_latency", None)
+        if p99 is not None and p99 > self._p99_target:
+            return True
+        queued = getattr(signals, "queue_tokens", None)
+        if (
+            self._queue_limit is not None
+            and queued is not None
+            and queued > self._queue_limit
+        ):
+            return True
+        attainment = getattr(signals, "slo_attainment", None)
+        return (
+            self._attainment_floor is not None
+            and attainment is not None
+            and attainment < self._attainment_floor
+        )
+
+    def _calm(self, signals) -> bool:
+        p99 = getattr(signals, "p99_latency", None)
+        if p99 is None or p99 > self._scale_down_margin * self._p99_target:
+            return False
+        queued = getattr(signals, "queue_tokens", None)
+        if self._queue_limit is not None and (
+            queued is None or queued > self._scale_down_margin * self._queue_limit
+        ):
+            return False
+        attainment = getattr(signals, "slo_attainment", None)
+        if self._attainment_floor is not None and (
+            attainment is None or attainment < self._attainment_floor
+        ):
+            return False
+        return True
+
+    def _evaluate(self) -> None:
+        signals = self._probe()
+        if self._pressure(signals):
+            self._calm_ticks = 0
+            self._request_capacity(1)
+            return
+        if self._scale_down_after <= 0 or not self._calm(signals):
+            self._calm_ticks = 0
+            return
+        self._calm_ticks += 1
+        if self._calm_ticks >= self._scale_down_after and self._scaled_up:
+            self._calm_ticks = 0
+            self._release_newest()
+
+    def _request_capacity(self, count: int) -> int:
+        """Request up to ``count`` standby devices; returns how many."""
+        requested = 0
+        now = self._kernel.now
+        while requested < count and self._standby:
+            gpu = self._standby.pop(0)
+            self._outstanding += 1
+            self.decisions.append((now, "request", gpu))
+            arrive_at = now + self._delay
+            if self._horizon is not None and arrive_at > self._horizon:
+                # The device would join after the scenario ends; the
+                # request still counts as provisioned intent but never
+                # delivers (mirrors TimedClusterEventSource's horizon).
+                requested += 1
+                continue
+            self._kernel.schedule(
+                self._delay,
+                lambda gpu=gpu: self._deliver_provision(gpu),
+                Priority.FAILURE,
+                label=f"provision[{gpu}]",
+            )
+            requested += 1
+        return requested
+
+    def _deliver_provision(self, gpu: int) -> None:
+        self._outstanding -= 1
+        factor = float(self._speed_factors.get(gpu, 1.0))
+        state = self._engine.cluster_state
+        if state is not None and state.is_alive(gpu):
+            return  # another source raced us; nothing to deliver
+        event = ClusterEvent(step=0, kind="provision", gpu=gpu, factor=factor)
+        self._engine.apply_cluster_events((event,), when=self._kernel.now)
+        self._scaled_up.append(gpu)
+        self.scale_ups += 1
+        self.decisions.append((self._kernel.now, "provision", gpu))
+
+    def _release_newest(self) -> None:
+        gpu = self._scaled_up.pop()
+        state = self._engine.cluster_state
+        if state is None or not state.is_alive(gpu):
+            return  # already revoked by the churn stream
+        event = ClusterEvent(step=0, kind="revoke", gpu=gpu)
+        self._engine.apply_cluster_events((event,), when=self._kernel.now)
+        self._standby.append(gpu)  # reusable standby capacity
+        self.scale_downs += 1
+        self.decisions.append((self._kernel.now, "revoke", gpu))
+
+    # ------------------------------------------------------------------
+    # Churn integration
+    # ------------------------------------------------------------------
+    def on_revocation_notice(self, gpus: Sequence[int]) -> None:
+        """React inside a spot revocation-notice window.
+
+        Drains the doomed devices immediately (emergency replica copies
+        through the engine) and requests one standby replacement per
+        noticed device. Replacements still pay the provisioning delay,
+        so a notice window shorter than the delay leaves a capacity gap
+        the degradation path has to absorb.
+        """
+        doomed = [int(g) for g in gpus]
+        if not doomed:
+            return
+        self.notices += 1
+        now = self._kernel.now
+        for gpu in doomed:
+            self.decisions.append((now, "notice", gpu))
+            if gpu in self._scaled_up:
+                self._scaled_up.remove(gpu)  # reclaimed, not reusable
+        self.drain_seconds += self._engine.notify_revocation(tuple(doomed))
+        self._calm_ticks = 0
+        self._request_capacity(len(doomed))

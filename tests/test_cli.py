@@ -139,3 +139,37 @@ def test_perf_human_readable(capsys, tmp_path):
     assert "decisions identical" in text
     assert "fallbacks to full recompute: 0" in text
     assert "perf: OK" in text
+
+
+def test_churn_smoke_passes_and_writes_report(capsys, tmp_path):
+    out = tmp_path / "BENCH_autoscale_churn.json"
+    assert main(["churn", "--smoke", "--output", str(out), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["suite"] == "autoscale_churn"
+    assert set(payload["rows"]) == {
+        "spot", "outage", "heterogeneous", "multiday"
+    }
+    for row in payload["rows"].values():
+        assert row["attainment_gain"] > 0
+    assert payload["degradation"]["ok"] is True
+    written = json.loads(out.read_text())
+    assert written["smoke"] is True
+    assert written["regression"] is False
+
+
+def test_churn_human_readable(capsys, tmp_path):
+    out = tmp_path / "BENCH_autoscale_churn.json"
+    assert main(["churn", "--smoke", "--output", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "autoscale churn" in text
+    assert "cost-weighted goodput" in text
+    assert "degradation pair" in text
+    assert "churn smoke: OK" in text
+
+
+def test_churn_unwritable_output_fails_fast(capsys, tmp_path):
+    target = tmp_path / "missing-dir" / "report.json"
+    assert main(["churn", "--smoke", "--output", str(target)]) == 2
+    err = capsys.readouterr().err
+    assert "error: cannot write report" in err

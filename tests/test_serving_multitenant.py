@@ -821,3 +821,134 @@ class TestFairnessIndex:
 
     def test_no_offered_traffic_is_vacuously_fair(self):
         assert self._report([], []).jain_fairness_index() == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation: shedding lower-priority queued work
+# ---------------------------------------------------------------------------
+def shed_queue(tenants, max_queue_tokens=100, shed=True):
+    return PriorityAdmissionQueue(
+        BatchingConfig(
+            max_batch_tokens=100, max_queue_tokens=max_queue_tokens
+        ),
+        tenants,
+        policy="priority",
+        shed_low_priority=shed,
+    )
+
+
+class TestShedding:
+    two_class = (
+        spec(name="chat", tenant_class=INTERACTIVE),
+        spec(name="batch", tenant_class=BATCH),
+    )
+
+    def test_requires_priority_policy(self):
+        with pytest.raises(ConfigurationError):
+            PriorityAdmissionQueue(
+                BatchingConfig(max_batch_tokens=100),
+                self.two_class,
+                policy="fifo",
+                shed_low_priority=True,
+            )
+
+    def test_off_by_default_preserves_rejection(self):
+        queue = shed_queue(self.two_class, shed=False)
+        assert queue.offer(request(0, 100, tenant=1))
+        assert not queue.offer(request(1, 50, tenant=0))
+        assert queue.rejected_requests == 1
+        assert queue.shed_requests == 0
+
+    def test_sheds_newest_lower_priority_work_first(self):
+        queue = shed_queue(self.two_class)
+        assert queue.offer(request(0, 60, tenant=1))
+        assert queue.offer(request(1, 40, tenant=1))
+        # Interactive arrival needs 50 tokens of room: the newest batch
+        # request (40 tokens) is not enough, so both batch entries shed.
+        assert queue.offer(request(2, 50, tenant=0))
+        assert queue.shed_requests == 2
+        assert [r.index for r in queue.shed] == [1, 0]
+        assert queue.shed_by_tenant(1) == 2
+        assert queue.shed_by_tenant(0) == 0
+        assert queue.queued_tokens == 50
+        assert [r.index for r in queue.next_batch()] == [2]
+
+    def test_partial_shed_keeps_oldest_batch_work(self):
+        queue = shed_queue(self.two_class)
+        assert queue.offer(request(0, 60, tenant=1))
+        assert queue.offer(request(1, 40, tenant=1))
+        # 20 tokens of room needed: shedding the newest batch request
+        # alone suffices; the oldest keeps its place.
+        assert queue.offer(request(2, 20, tenant=0))
+        assert [r.index for r in queue.shed] == [1]
+        assert queue.queued_tokens == 80
+        assert queue.tenant_queued_tokens(1) == 60
+
+    def test_never_sheds_equal_or_higher_priority(self):
+        queue = shed_queue(self.two_class)
+        assert queue.offer(request(0, 100, tenant=0))
+        # A batch arrival has no strictly-lower level to raid.
+        assert not queue.offer(request(1, 30, tenant=1))
+        # Another interactive arrival cannot shed its own class either.
+        assert not queue.offer(request(2, 30, tenant=0))
+        assert queue.shed_requests == 0
+        assert queue.rejected_requests == 2
+        assert queue.queued_tokens == 100
+
+    def test_hopeless_arrival_sheds_nothing(self):
+        queue = shed_queue(self.two_class)
+        assert queue.offer(request(0, 30, tenant=1))
+        assert queue.offer(request(1, 60, tenant=0))
+        # Freeing every batch token (30) still cannot fit 80 more:
+        # the arrival bounces and no victim is evicted for nothing.
+        assert not queue.offer(request(2, 80, tenant=0))
+        assert queue.shed_requests == 0
+        assert queue.queued_tokens == 90
+        assert queue.tenant_queued_tokens(1) == 30
+
+    def test_shed_accounting_is_conserved(self):
+        queue = shed_queue(self.two_class)
+        offered = [
+            request(0, 50, tenant=1),
+            request(1, 50, tenant=1),
+            request(2, 90, tenant=0),
+        ]
+        admitted = [r for r in offered if queue.offer(r)]
+        dispatched = []
+        while True:
+            batch = queue.next_batch()
+            if not batch:
+                break
+            dispatched.extend(batch)
+        # Every offered request is exactly one of: dispatched, shed, or
+        # rejected at the door.
+        assert len(dispatched) + queue.shed_requests + (
+            len(offered) - len(admitted)
+        ) == len(offered)
+        assert {r.index for r in dispatched} | {
+            r.index for r in queue.shed
+        } == {0, 1, 2}
+
+    def test_per_class_summary_folds_shed_counts(self):
+        info = TenancyInfo(
+            names=("chat", "batch"),
+            class_names=("interactive", "batch"),
+            priorities=(10, 0),
+            weights=(1.0, 1.0),
+            slos=(SLO, SLOConfig(latency_target=5.0)),
+            shed_requests=3,
+            shed_by_tenant=(0, 3),
+        )
+        record = RequestRecord(
+            request=request(0, 10, tenant=0),
+            start=0.0, queue_time=0.0, execute_time=0.1,
+        )
+        report = ServingReport(
+            engine="x", records=(record,),
+            rejected=(request(1, 10, tenant=1),), slo=SLO, num_batches=1,
+            sim_duration=1.0, tenancy=info,
+        )
+        per_class = report.per_class_summary()
+        assert per_class["batch"]["requests_shed"] == 3
+        assert per_class["interactive"]["requests_shed"] == 0
+        assert report.multitenant_summary()["shed_requests"] == 3

@@ -61,14 +61,24 @@ class TestComposedScenario:
         assert fail["time_s"] != int(fail["time_s"])
 
     def test_deferred_streams_commit_only_through_budget(self, smoke_report):
+        # The engine-wide committed counter is the authoritative total
+        # and must reconcile exactly with the per-channel counters:
+        # budget-source commits plus in-step serving commits.
+        assert smoke_report["placement_actions_reconciled"] is True
+        assert (
+            smoke_report["placement_actions_total"]
+            == smoke_report["engine_committed_actions"]
+        )
         assert (
             smoke_report["placement_actions_total"]
             == smoke_report["budget_committed_actions"]
             + smoke_report["serving"]["placement_actions"]
         )
         # In-step commits are deferred (stream_budget=0), so the serving
-        # report's own action counter stays at zero.
+        # report's own action counter stays at zero while the budget
+        # channel carries every committed action.
         assert smoke_report["serving"]["placement_actions"] == 0
+        assert smoke_report["budget_committed_actions"] > 0
 
     def test_same_seed_same_report(self, smoke_report):
         again = composed_scenario_run(smoke=True, seed=SMOKE_SEED)

@@ -23,10 +23,12 @@ Four guarantees, all enforced in CI (see CONTRIBUTING.md):
    (re-)committed (``.gitignore`` keeps them out of the index;
    ``tests/test_repo_hygiene.py`` asserts the same from the tier-1
    suite).
-5. Every tracked benchmark report (``BENCH_*.json``) is referenced by
-   README.md or some docs/*.md, so a CI-gated artifact (e.g.
-   ``BENCH_multitenant.json``) cannot land without the doc explaining
-   what gates it.
+5. Every benchmark report (``BENCH_*.json``) -- tracked artifacts AND
+   report names referenced by the source tree (harness constants, CLI
+   defaults) -- is referenced by README.md or some docs/*.md, so a
+   CI-gated artifact (e.g. ``BENCH_multitenant.json``,
+   ``BENCH_autoscale_churn.json``) cannot land without the doc
+   explaining what gates it.
 
 Exit status 0 on success, 1 with a report on any failure.
 """
@@ -191,13 +193,35 @@ def check_no_tracked_bytecode() -> list[str]:
     ]
 
 
-def check_bench_reports_documented() -> list[str]:
-    """Every tracked ``BENCH_*.json`` is referenced by README or docs/*.md.
+#: Benchmark-report filenames as they appear in code and docs.
+BENCH_NAME_RE = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
 
-    A committed benchmark artifact is a CI contract; the docs must say
-    which harness produces it and what its ``ok`` marker gates. Skips
-    silently when git is unavailable (source tarball).
+
+def _source_bench_reports() -> set[str]:
+    """Every ``BENCH_*.json`` name the source tree can emit.
+
+    Sweeps ``src/repro/`` for report-filename literals (the
+    ``*_REPORT_FILENAME`` constants and CLI defaults all spell the name
+    out), so a new harness cannot introduce a report the docs never
+    mention -- even before its first artifact is committed.
     """
+    names: set[str] = set()
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        names.update(BENCH_NAME_RE.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def check_bench_reports_documented() -> list[str]:
+    """Every benchmark report is referenced by README or docs/*.md.
+
+    Covers two report populations: tracked ``BENCH_*.json`` artifacts (a
+    committed artifact is a CI contract) and report names referenced by
+    the source tree (``repro.bench`` harnesses / CLI defaults, e.g.
+    ``BENCH_autoscale_churn.json``), so a harness cannot land without
+    the doc explaining what its ``ok`` marker gates. Git-unavailable
+    environments (source tarballs) still check the source population.
+    """
+    reports = _source_bench_reports()
     try:
         listed = subprocess.run(
             ["git", "ls-files", "BENCH_*.json"],
@@ -207,17 +231,18 @@ def check_bench_reports_documented() -> list[str]:
             timeout=30,
         )
     except (OSError, subprocess.TimeoutExpired):
-        return []
-    if listed.returncode != 0:
-        return []
-    reports = [line for line in listed.stdout.splitlines() if line]
+        listed = None
+    if listed is not None and listed.returncode == 0:
+        reports.update(
+            line for line in listed.stdout.splitlines() if line
+        )
     if not reports:
         return []
     corpus = "\n".join(p.read_text(encoding="utf-8") for p in doc_paths())
     return [
-        f"tracked benchmark report {name} is not referenced by README.md "
+        f"benchmark report {name} is not referenced by README.md "
         "or any docs/*.md (document which harness writes it)"
-        for name in reports
+        for name in sorted(reports)
         if name not in corpus
     ]
 
