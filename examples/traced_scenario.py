@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Tracing the composed scenario: one artifact that explains a run.
+
+This walkthrough runs the composed kernel scenario (diurnal serving +
+a timed device outage + a metered migration budget, see
+``examples/composed_scenario.py``) inside a telemetry session, then uses
+the captured data to answer an actual operational question -- "why did
+SLO attainment dip?" -- without re-running anything:
+
+1. the **decision timeline** pins the outage window (``fail`` ->
+   ``recover``) and every control-plane reaction inside it (trigger
+   firings, Migrate/Expand/Shrink commits, budget grants);
+2. the **request records**, bucketed against that window, show the
+   attainment dip is concentrated where the timeline says the pool was
+   degraded -- the script asserts it;
+3. the **metrics registry** carries the run's counters (admissions,
+   batches, scheduler actions) and the **span tracer** holds the
+   Chrome trace-event stream, written to ``traced_scenario.json`` for
+   Perfetto (https://ui.perfetto.dev).
+
+Run:
+    python examples/traced_scenario.py
+
+Equivalent CLI:
+    python -m repro trace --smoke
+See docs/observability.md for the telemetry layer itself.
+"""
+
+from repro import telemetry
+from repro.sim.composed import ComposedScenarioConfig, build_composed_scenario
+
+TRACE_PATH = "traced_scenario.json"
+
+
+def attainment(records, slo_target: float) -> float:
+    """Fraction of ``records`` meeting the SLO (1.0 on an empty set)."""
+    if not records:
+        return 1.0
+    return sum(r.latency <= slo_target for r in records) / len(records)
+
+
+def main() -> None:
+    # Land the outage on the stream's last diurnal peak (three quarters
+    # in): a device vanishing exactly when traffic crests is the case
+    # where the dip is unambiguous -- the default early-outage scenario
+    # is absorbed by the scheduler without a single SLO miss, which is
+    # its own story but not this walkthrough's.
+    config = ComposedScenarioConfig(
+        seed=0, fail_at_fraction=0.75, recover_after_fraction=0.25
+    ).smoke()
+    handles = build_composed_scenario(config)
+
+    with telemetry.session() as tel:
+        handles.scenario.run()
+        report = handles.serving_run.report()
+        tel.write(TRACE_PATH)
+
+        # -- 1. the timeline names the outage window ------------------
+        fail = next(iter(tel.timeline.of_kind("fail")))
+        recover = next(iter(tel.timeline.of_kind("recover")))
+        window = (fail.time, recover.time)
+        reactions = tel.timeline.between(*window)
+        print(
+            f"outage window from the decision timeline: {fail.subject} "
+            f"down {1e3 * window[0]:.3f} -> {1e3 * window[1]:.3f} ms"
+        )
+        kinds = {}
+        for event in reactions:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        print(
+            "  control-plane reactions inside it: "
+            + "  ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+        )
+
+        # -- 2. the records confirm the dip sits inside it ------------
+        # Bucket by ARRIVAL time: a request that arrives while the pool
+        # is degraded eats the backlog even if it only dispatches after
+        # the device returns.
+        slo_target = config.slo_batches * handles.provenance["balanced_batch_s"]
+        inside = [
+            r for r in report.records
+            if window[0] <= r.request.arrival <= window[1]
+        ]
+        outside = [
+            r for r in report.records
+            if not window[0] <= r.request.arrival <= window[1]
+        ]
+        att_in = attainment(inside, slo_target)
+        att_out = attainment(outside, slo_target)
+        print(
+            f"  SLO attainment: {att_in:.3f} inside the window "
+            f"({len(inside)} requests) vs {att_out:.3f} outside "
+            f"({len(outside)} requests); overall "
+            f"{report.slo_attainment:.3f}"
+        )
+        assert att_in < att_out, (
+            "the attainment dip should be concentrated in the outage "
+            f"window the timeline identified ({att_in:.3f} vs {att_out:.3f})"
+        )
+
+        # -- 3. the registry and tracer carry the rest ----------------
+        counters = tel.registry.snapshot()["counters"]
+        print(
+            f"  registry: {counters.get('serving.batches', 0):.0f} batches, "
+            f"{counters.get('admission.admitted', 0):.0f} admitted, "
+            f"{counters.get('scheduler.triggers', 0):.0f} trigger firings"
+        )
+        events = len(tel.tracer.events) if tel.tracer is not None else 0
+        print(
+            f"  trace written to {TRACE_PATH}: {events} events, "
+            f"{len(tel.timeline)} timeline entries "
+            "(open in Perfetto: ui.perfetto.dev)"
+        )
+
+    print(
+        "\nThe timeline explained the dip without logs or re-runs; the "
+        "same session\nAPI wraps any run via --trace-out on the CLI "
+        "(see docs/observability.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

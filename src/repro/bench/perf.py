@@ -22,17 +22,28 @@ Three benchmark families:
   inline step loop on the identical engine/trace: the kernel's heap
   events must stay within 5% of the legacy loop AND produce identical
   simulated results.
+* :func:`telemetry_overhead_benchmark` — the telemetry layer's cost on
+  the identical pipeline run, three ways: the telemetry-free baseline
+  (legacy loop, telemetry suppressed), the shipped default (kernel run
+  with telemetry disabled -- pays only the per-tap ``is not None``
+  branches), and fully enabled (session with metrics + tracing +
+  timeline).  Disabled mode must stay within 5% of the baseline's
+  steps/sec, and all three runs must produce identical simulated
+  results -- observation must never change a decision.
 
 :func:`perf_suite` composes them; its ``ok`` verdict requires every delta
 evaluator to report **zero fallbacks** to full recomputation, every
-decision/simulation equivalence to hold, and the event kernel to stay
-within its overhead tolerance.  CI runs ``python -m repro perf --smoke``
-and fails on a false verdict, so neither the delta hot path nor the
-kernel hosting can silently regress.
+decision/simulation equivalence to hold, and the event kernel AND the
+disabled telemetry mode to stay within their overhead tolerances.  CI
+runs ``python -m repro perf --smoke`` and fails on a false verdict, so
+neither the delta hot path, the kernel hosting, nor the telemetry taps
+can silently regress.
 """
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import sys
 import time
@@ -291,6 +302,25 @@ def faults_overhead_benchmark(
     }
 
 
+@contextlib.contextmanager
+def _gc_quiet():
+    """Keep the collector out of a timed region.
+
+    The overhead benchmarks gate single-digit percentages; one GC pass
+    landing inside a ~300ms timed window (routine in a long-lived test
+    process) is enough to breach a 5% tolerance. Collect up front so the
+    pause is paid outside the clock, then disable until the region ends.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def kernel_overhead_benchmark(
     num_moe_layers: int = 4,
     num_gpus: int = 16,
@@ -305,12 +335,14 @@ def kernel_overhead_benchmark(
 
     Each path rebuilds a seed-matched engine per repeat (schedulers are
     stateful, so a trace cannot be replayed on the same engine); the two
-    paths run INTERLEAVED and the best-of-``repeats`` timing is kept per
-    path, which suppresses scheduler/machine noise on shared CI boxes.
-    ``within_tolerance`` requires the kernel's steps/sec to stay within
-    ``tolerance`` of the legacy loop's; simulated results must match
-    exactly (the two paths run the same phase sequence, so any
-    divergence is a kernel bug, not jitter).
+    paths run INTERLEAVED, in alternating order, and ``overhead_pct`` is
+    the best per-repeat PAIRED ratio -- adjacent passes share machine
+    state, so the ratio is immune to the thermal/neighbour drift that
+    plagues comparing two independently-taken minima on shared CI boxes.
+    ``within_tolerance`` requires that best ratio to stay within
+    ``tolerance``; simulated results must match exactly (the two paths
+    run the same phase sequence, so any divergence is a kernel bug, not
+    jitter).
     """
     from repro.runtime.pipeline import build_engine
     from repro.training.loop import simulate_pipeline
@@ -338,20 +370,38 @@ def kernel_overhead_benchmark(
             cluster_for(num_gpus), model,
             num_moe_layers=num_moe_layers, seed=seed,
         )
-        start = time.perf_counter()
-        result = simulate_pipeline(
-            engine, trace, warmup=min(5, num_steps - 1), kernel=kernel
-        )
-        return time.perf_counter() - start, result.mean_step_time
+        with _gc_quiet():
+            start = time.perf_counter()
+            result = simulate_pipeline(
+                engine, trace, warmup=min(5, num_steps - 1), kernel=kernel
+            )
+            elapsed = time.perf_counter() - start
+        return elapsed, result.mean_step_time
 
     legacy_s = kernel_s = float("inf")
     legacy_sim = kernel_sim = 0.0
+    ratios = []
     one_pass(False)  # untimed warm-up (lazy caches, code paths)
-    for _ in range(max(repeats, 1)):
-        elapsed, legacy_sim = one_pass(False)
-        legacy_s = min(legacy_s, elapsed)
-        elapsed, kernel_sim = one_pass(True)
-        kernel_s = min(kernel_s, elapsed)
+    for repeat in range(max(repeats, 1)):
+        # Alternate which path runs first each repeat: a fixed order
+        # turns monotonic machine drift (thermal throttling, noisy
+        # neighbours) into phantom overhead on the always-later path.
+        if repeat % 2 == 0:
+            legacy_i, legacy_sim = one_pass(False)
+            kernel_i, kernel_sim = one_pass(True)
+        else:
+            kernel_i, kernel_sim = one_pass(True)
+            legacy_i, legacy_sim = one_pass(False)
+        legacy_s = min(legacy_s, legacy_i)
+        kernel_s = min(kernel_s, kernel_i)
+        if legacy_i > 0:
+            ratios.append(kernel_i / legacy_i)
+    # Overhead is judged on PAIRED passes: adjacent runs see the same
+    # machine state, so per-repeat ratios are drift-immune where the
+    # ratio of two global minima (possibly from different thermal
+    # windows) is not. Timer noise only ever adds time, so the best
+    # pair is the cleanest estimate of the true ratio.
+    best_ratio = min(ratios) if ratios else 1.0
     legacy_rate = num_steps / legacy_s if legacy_s > 0 else 0.0
     kernel_rate = num_steps / kernel_s if kernel_s > 0 else 0.0
     return {
@@ -364,14 +414,143 @@ def kernel_overhead_benchmark(
         "kernel_seconds": kernel_s,
         "legacy_steps_per_sec": legacy_rate,
         "kernel_steps_per_sec": kernel_rate,
-        "overhead_pct": (
-            100.0 * (kernel_s - legacy_s) / legacy_s if legacy_s > 0 else 0.0
-        ),
+        "overhead_pct": 100.0 * (best_ratio - 1.0),
         "tolerance_pct": 100.0 * tolerance,
-        "within_tolerance": kernel_rate >= (1.0 - tolerance) * legacy_rate,
+        "within_tolerance": best_ratio * (1.0 - tolerance) <= 1.0,
         "simulated_results_match": bool(np.isclose(
             legacy_sim, kernel_sim, rtol=1e-12, atol=0.0
         )),
+    }
+
+
+def telemetry_overhead_benchmark(
+    num_moe_layers: int = 4,
+    num_gpus: int = 16,
+    num_experts: int = 32,
+    num_steps: int = 30,
+    tokens_per_gpu: int = 32_768,
+    seed: int = 0,
+    repeats: int = 5,
+    tolerance: float = 0.05,
+) -> dict[str, object]:
+    """Telemetry-layer cost on the identical pipeline run, three ways.
+
+    * ``baseline`` — the retained legacy inline loop with telemetry
+      force-suppressed: the truly instrumentation-free reference.
+    * ``disabled`` — the shipped default: kernel-hosted run, no active
+      telemetry session, so every tap point pays exactly one
+      ``telemetry.current() is not None`` branch and nothing else.
+    * ``enabled`` — a full session (metrics registry + span tracer +
+      decision timeline) around the same kernel-hosted run.
+
+    The gate is ``within_tolerance``: disabled-mode steps/sec must stay
+    within ``tolerance`` of the baseline's, i.e. shipping the tap points
+    may not tax users who never turn telemetry on.  All three passes
+    must produce byte-identical simulated results (observation must
+    never change a decision); the enabled pass additionally has to
+    actually record something (trace events and timeline entries), so a
+    silently dead tap cannot masquerade as zero overhead.  Passes run
+    interleaved in alternating order and the overheads are best
+    per-repeat paired ratios, like the kernel benchmark (see there for
+    why), and the default config mirrors that benchmark's: per-step work
+    must be large enough that scheduler jitter on shared CI boxes stays
+    well under the tolerance being gated.
+    """
+    from repro import telemetry
+    from repro.runtime.pipeline import build_engine
+    from repro.training.loop import simulate_pipeline
+
+    model = MoEModelConfig(
+        name=f"perf-telemetry-{num_moe_layers}L",
+        num_layers=2 * num_moe_layers,
+        d_model=2048,
+        d_ffn=8192,
+        num_experts=num_experts,
+    )
+    trace = make_multilayer_trace(
+        num_moe_layers,
+        num_experts,
+        num_gpus,
+        WorkloadConfig(
+            tokens_per_step=tokens_per_gpu * num_gpus,
+            num_steps=num_steps,
+            seed=seed,
+        ),
+    )
+
+    def one_pass(kernel: bool) -> tuple[float, float]:
+        engine = build_engine(
+            cluster_for(num_gpus), model,
+            num_moe_layers=num_moe_layers, seed=seed,
+        )
+        with _gc_quiet():
+            start = time.perf_counter()
+            result = simulate_pipeline(
+                engine, trace, warmup=min(5, num_steps - 1), kernel=kernel
+            )
+            elapsed = time.perf_counter() - start
+        return elapsed, result.mean_step_time
+
+    baseline_s = disabled_s = enabled_s = float("inf")
+    baseline_sim = disabled_sim = enabled_sim = 0.0
+    trace_events = timeline_events = 0
+    disabled_ratios = []
+    enabled_ratios = []
+    with telemetry.suppressed():
+        one_pass(True)  # untimed warm-up (lazy caches, code paths)
+    for repeat in range(max(repeats, 1)):
+        # Alternate which gated mode runs first: under monotonic machine
+        # drift (thermal throttling, a busy sibling test process) a fixed
+        # order would systematically tax whichever pass always ran later,
+        # which reads as phantom overhead.
+        with telemetry.suppressed():
+            if repeat % 2 == 0:
+                baseline_i, baseline_sim = one_pass(False)
+                disabled_i, disabled_sim = one_pass(True)
+            else:
+                disabled_i, disabled_sim = one_pass(True)
+                baseline_i, baseline_sim = one_pass(False)
+        with telemetry.session(reuse=False) as tel:
+            enabled_i, enabled_sim = one_pass(True)
+            trace_events = len(tel.tracer.events) if tel.tracer else 0
+            timeline_events = len(tel.timeline)
+        baseline_s = min(baseline_s, baseline_i)
+        disabled_s = min(disabled_s, disabled_i)
+        enabled_s = min(enabled_s, enabled_i)
+        if baseline_i > 0:
+            disabled_ratios.append(disabled_i / baseline_i)
+            enabled_ratios.append(enabled_i / baseline_i)
+    # Overhead is judged on PAIRED passes within one repeat (adjacent
+    # runs see the same machine state, so the ratio is drift-immune);
+    # timer noise only adds time, so the best pair is the cleanest
+    # estimate of the true ratio. See kernel_overhead_benchmark.
+    disabled_ratio = min(disabled_ratios) if disabled_ratios else 1.0
+    enabled_ratio = min(enabled_ratios) if enabled_ratios else 1.0
+    baseline_rate = num_steps / baseline_s if baseline_s > 0 else 0.0
+    disabled_rate = num_steps / disabled_s if disabled_s > 0 else 0.0
+    enabled_rate = num_steps / enabled_s if enabled_s > 0 else 0.0
+    return {
+        "num_moe_layers": num_moe_layers,
+        "num_gpus": num_gpus,
+        "num_experts": num_experts,
+        "num_steps": num_steps,
+        "repeats": repeats,
+        "baseline_seconds": baseline_s,
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "baseline_steps_per_sec": baseline_rate,
+        "disabled_steps_per_sec": disabled_rate,
+        "enabled_steps_per_sec": enabled_rate,
+        "disabled_overhead_pct": 100.0 * (disabled_ratio - 1.0),
+        "enabled_overhead_pct": 100.0 * (enabled_ratio - 1.0),
+        "tolerance_pct": 100.0 * tolerance,
+        "within_tolerance": disabled_ratio * (1.0 - tolerance) <= 1.0,
+        "simulated_results_match": bool(
+            np.isclose(baseline_sim, disabled_sim, rtol=1e-12, atol=0.0)
+            and np.isclose(baseline_sim, enabled_sim, rtol=1e-12, atol=0.0)
+        ),
+        "enabled_trace_events": trace_events,
+        "enabled_timeline_events": timeline_events,
     }
 
 
@@ -754,6 +933,9 @@ def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
         kernel_events = kernel_events_benchmark(
             num_ticks=1000, seed=seed, repeats=2
         )
+        telemetry_overhead = telemetry_overhead_benchmark(
+            num_steps=12, seed=seed, repeats=3
+        )
     else:
         planner = planner_benchmark(seed=seed)
         pipeline = pipeline_overhead_benchmark(seed=seed)
@@ -761,6 +943,7 @@ def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
         kernel = kernel_overhead_benchmark(seed=seed)
         serving_events = serving_events_benchmark(seed=seed)
         kernel_events = kernel_events_benchmark(seed=seed)
+        telemetry_overhead = telemetry_overhead_benchmark(seed=seed)
     fallbacks = (
         float(planner["fallbacks"])
         + float(pipeline["fallbacks"])
@@ -785,6 +968,13 @@ def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
         >= SERVING_EVENTS_PER_SEC_FLOOR
         and float(kernel_events["events_per_sec"])
         >= KERNEL_EVENTS_PER_SEC_FLOOR
+        # Telemetry gates: shipping the tap points must be free for
+        # users who never enable a session, observation must never
+        # change a decision, and the enabled pass must actually record.
+        and bool(telemetry_overhead["within_tolerance"])
+        and bool(telemetry_overhead["simulated_results_match"])
+        and int(telemetry_overhead["enabled_trace_events"]) > 0
+        and int(telemetry_overhead["enabled_timeline_events"]) > 0
     )
     return {
         "suite": "step_overhead",
@@ -796,10 +986,35 @@ def perf_suite(smoke: bool = False, seed: int = 0) -> dict[str, object]:
         "kernel": kernel,
         "serving_events": serving_events,
         "kernel_events": kernel_events,
+        "telemetry_overhead": telemetry_overhead,
+        "telemetry": {"metrics": _memo_metrics_snapshot(planner["memo"])},
         "memo_hit_rate": memo_hit_rate,
         "total_fallbacks": fallbacks,
         "ok": ok,
     }
+
+
+def _memo_metrics_snapshot(memo_stats: dict) -> dict[str, object]:
+    """Re-publish the planner pass's memo accounting through a
+    standalone :class:`~repro.telemetry.registry.MetricsRegistry`.
+
+    The timed benchmarks deliberately run with telemetry suppressed (so
+    timings measure the subsystems, not the observer); the report still
+    carries a registry-shaped snapshot so consumers — ``python -m repro
+    perf`` included — read hit rates from the one telemetry schema
+    instead of reaching into bench internals.
+    """
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for phase, item in sorted(dict(memo_stats["phases"]).items()):
+        registry.counter("memo.hits", phase=phase).inc(int(item["hits"]))
+        registry.counter("memo.misses", phase=phase).inc(
+            int(item["misses"])
+        )
+    registry.gauge("memo.entries").set(float(memo_stats["entries"]))
+    registry.gauge("memo.hit_rate").set(float(memo_stats["hit_rate"]))
+    return registry.snapshot()
 
 
 def write_report(report: dict[str, object], path: str | Path) -> Path:

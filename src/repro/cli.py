@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Eight subcommands expose the simulation engine without writing any code:
+Nine subcommands expose the simulation engine without writing any code:
 
 * ``run``     — multi-layer pipelined FlexMoE run with an overlap-aware
   step-time breakdown and per-layer placement divergence;
@@ -32,7 +32,16 @@ Eight subcommands expose the simulation engine without writing any code:
   autoscaled-vs-fixed runs through spot revocation waves (plus outage,
   heterogeneous-standby and multi-day variants) and the multi-tenant
   graceful-degradation pair, written to ``BENCH_autoscale_churn.json``
-  (see ``docs/autoscaling.md``).
+  (see ``docs/autoscaling.md``);
+* ``trace``   — the composed scenario under a full telemetry session:
+  kernel event spans, step-phase spans, serving-batch spans, the
+  control-plane decision timeline and a metrics snapshot, exported as
+  one Chrome trace-event JSON artifact loadable in Perfetto
+  (see ``docs/observability.md``).
+
+``run``, ``serve``, ``scenario`` and ``churn`` additionally accept
+``--trace-out PATH`` (write the same Chrome trace artifact for that run)
+and ``--telemetry`` (print the metrics-registry snapshot afterwards).
 
 Every benchmark in ``benchmarks/`` and example in ``examples/`` builds on
 the same harness functions these commands call, so the CLI is the quickest
@@ -46,7 +55,8 @@ import argparse
 import dataclasses
 import json
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from repro.bench.harness import (
     SMOKE,
@@ -59,6 +69,66 @@ from repro.bench.harness import (
 from repro.config import FaultConfig
 from repro.exceptions import ReproError
 from repro.model.zoo import MODEL_ZOO
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON artifact for this run "
+        "(kernel spans, decision timeline, metrics snapshot; open in "
+        "Perfetto or chrome://tracing, see docs/observability.md)",
+    )
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="print the metrics-registry snapshot after the run",
+    )
+
+
+@contextmanager
+def _telemetry_scope(
+    args: argparse.Namespace, force: bool = False
+) -> Iterator[object]:
+    """An active telemetry session when ``--trace-out``/``--telemetry``
+    ask for one (or ``force``), else ``None`` -- so default runs stay on
+    the telemetry-disabled fast path."""
+    wanted = force or bool(
+        getattr(args, "trace_out", None) or getattr(args, "telemetry", False)
+    )
+    if not wanted:
+        yield None
+        return
+    from repro import telemetry
+
+    with telemetry.session(reuse=False) as tel:
+        yield tel
+
+
+def _emit_telemetry(args: argparse.Namespace, tel, quiet: bool = False) -> int:
+    """Write the trace artifact / print the snapshot a command's
+    telemetry flags requested. Returns non-zero only on write failure."""
+    if tel is None:
+        return 0
+    if getattr(args, "trace_out", None):
+        try:
+            path = tel.write(args.trace_out)
+        except OSError as exc:
+            print(
+                f"error: cannot write trace to {args.trace_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        if not quiet:
+            events = len(tel.tracer.events) if tel.tracer is not None else 0
+            print(
+                f"trace written to {path} ({events} trace events, "
+                f"{len(tel.timeline)} timeline entries)"
+            )
+    if getattr(args, "telemetry", False) and not quiet:
+        print(tel.registry.to_json())
+    return 0
 
 
 def _add_run_parser(sub: argparse._SubParsersAction) -> None:
@@ -91,6 +161,7 @@ def _add_run_parser(sub: argparse._SubParsersAction) -> None:
         help="skip dense-block modelling (bare stacked MoE layers)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_telemetry_flags(p)
 
 
 def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
@@ -313,6 +384,7 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
         "--multi-tenant, in the current directory)",
     )
     p.add_argument("--json", action="store_true", help="print the report too")
+    _add_telemetry_flags(p)
 
 
 def _add_scenario_parser(sub: argparse._SubParsersAction) -> None:
@@ -364,6 +436,7 @@ def _add_scenario_parser(sub: argparse._SubParsersAction) -> None:
         "BENCH_composed_scenario.json in the current directory)",
     )
     p.add_argument("--json", action="store_true", help="print the report too")
+    _add_telemetry_flags(p)
 
 
 def _add_churn_parser(sub: argparse._SubParsersAction) -> None:
@@ -394,6 +467,51 @@ def _add_churn_parser(sub: argparse._SubParsersAction) -> None:
         "BENCH_autoscale_churn.json in the current directory)",
     )
     p.add_argument("--json", action="store_true", help="print the report too")
+    _add_telemetry_flags(p)
+
+
+def _add_trace_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="composed scenario under a full telemetry session",
+        description=(
+            "Run the composed kernel scenario (serving + timed outages + "
+            "migration budget) with the telemetry layer fully on, and "
+            "export one Chrome trace-event JSON artifact: kernel event "
+            "spans per priority lane, serving-batch spans, control-plane "
+            "decision instants, plus the decision timeline and metrics "
+            "snapshot in metadata. Open it in Perfetto (ui.perfetto.dev) "
+            "or chrome://tracing; see docs/observability.md."
+        ),
+    )
+    p.add_argument("--layers", type=int, default=2, help="MoE layers (default 2)")
+    p.add_argument("--experts", type=int, default=16, help="experts per layer")
+    p.add_argument("--gpus", type=int, default=8, help="cluster size")
+    p.add_argument(
+        "--requests", type=int, default=400, help="stream length (default 400)"
+    )
+    p.add_argument(
+        "--load", type=float, default=0.85,
+        help="offered load vs the balanced token capacity (default 0.85)",
+    )
+    p.add_argument(
+        "--failures", type=int, default=1,
+        help="devices failing (and later recovering) mid-stream",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-scale scenario; fails unless the ok marker holds",
+    )
+    p.add_argument(
+        "--output",
+        default="trace.json",
+        metavar="PATH",
+        help="where to write the trace artifact (default: trace.json in "
+        "the current directory)",
+    )
+    p.add_argument("--json", action="store_true", help="print a summary too")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -411,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_parser(sub)
     _add_scenario_parser(sub)
     _add_churn_parser(sub)
+    _add_trace_parser(sub)
     return parser
 
 
@@ -418,20 +537,24 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # ----------------------------------------------------------------------
 def _cmd_run(args: argparse.Namespace) -> int:
-    run = pipeline_run(
-        num_moe_layers=args.layers,
-        num_gpus=args.gpus,
-        num_experts=args.experts,
-        num_steps=args.steps,
-        tokens_per_gpu=args.tokens_per_gpu,
-        d_model=args.d_model,
-        d_ffn=args.d_ffn,
-        warmup=args.warmup,
-        seed=args.seed,
-        overlap_efficiency=0.0 if args.no_overlap else 1.0,
-        model_dense_compute=not args.no_dense,
-    )
+    with _telemetry_scope(args) as tel:
+        run = pipeline_run(
+            num_moe_layers=args.layers,
+            num_gpus=args.gpus,
+            num_experts=args.experts,
+            num_steps=args.steps,
+            tokens_per_gpu=args.tokens_per_gpu,
+            d_model=args.d_model,
+            d_ffn=args.d_ffn,
+            warmup=args.warmup,
+            seed=args.seed,
+            overlap_efficiency=0.0 if args.no_overlap else 1.0,
+            model_dense_compute=not args.no_dense,
+        )
     summary = run.summary()
+    emit_rc = _emit_telemetry(args, tel, quiet=args.json)
+    if emit_rc:
+        return emit_rc
     if args.json:
         payload = dict(summary)
         payload["distinct_final_placements"] = run.distinct_final_placements
@@ -726,16 +849,35 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         f"{kernel_events['events_per_sec_floor']:.0f}), trace "
         f"{'identical' if kernel_events['trace_identity'] else 'DIVERGED'}"
     )
-    memo = planner["memo"]
+    overhead = report["telemetry_overhead"]
     print(
-        f"memo      hits {int(memo['hits'])}  misses {int(memo['misses'])}  "
-        f"hit rate {memo['hit_rate']:.4f}"
+        f"telemetry disabled {overhead['disabled_steps_per_sec']:8.1f} steps/s "
+        f"vs baseline {overhead['baseline_steps_per_sec']:8.1f} steps/s "
+        f"({overhead['disabled_overhead_pct']:+.2f}% overhead, tolerance "
+        f"{overhead['tolerance_pct']:.0f}%); enabled "
+        f"{overhead['enabled_overhead_pct']:+.2f}% "
+        f"({int(overhead['enabled_trace_events'])} trace events), simulation "
+        f"{'identical' if overhead['simulated_results_match'] else 'DIVERGED'}"
     )
-    for phase, stats in sorted(memo.get("phases", {}).items()):
+    # Memo accounting straight from the telemetry snapshot -- the report
+    # carries it in registry schema (see docs/observability.md).
+    metrics = report["telemetry"]["metrics"]
+    counters = metrics["counters"]
+    gauges = metrics["gauges"]
+    print(
+        f"memo      entries {int(gauges['memo.entries'])}  "
+        f"hit rate {gauges['memo.hit_rate']:.4f}"
+    )
+    for key, hits in sorted(counters.items()):
+        if not key.startswith("memo.hits{"):
+            continue
+        phase = key[len("memo.hits{phase="):-1]
+        misses = counters.get(f"memo.misses{{phase={phase}}}", 0.0)
+        total = hits + misses
         print(
-            f"  phase {phase:<10} hits {int(stats['hits'])}  "
-            f"misses {int(stats['misses'])}  "
-            f"hit rate {stats['hit_rate']:.4f}"
+            f"  phase {phase:<10} hits {int(hits)}  "
+            f"misses {int(misses)}  "
+            f"hit rate {hits / total if total else 0.0:.4f}"
         )
     print(
         f"delta fallbacks to full recompute: {int(report['total_fallbacks'])}"
@@ -760,7 +902,8 @@ def _cmd_serve_multitenant(args: argparse.Namespace) -> int:
     seed = 0 if args.smoke else args.seed
     # Smoke pins the CI scenario: 2 layers x 16 experts on 8 GPUs, one
     # interactive tenant against two batch tenants near saturation.
-    result = multitenant_run(num_requests=num_requests, seed=seed)
+    with _telemetry_scope(args) as tel:
+        result = multitenant_run(num_requests=num_requests, seed=seed)
     summary = result.summary()
     try:
         path = write_report(summary, Path(args.output))
@@ -768,6 +911,9 @@ def _cmd_serve_multitenant(args: argparse.Namespace) -> int:
         print(f"error: cannot write report to {args.output}: {exc}",
               file=sys.stderr)
         return 2
+    emit_rc = _emit_telemetry(args, tel, quiet=args.json)
+    if emit_rc:
+        return emit_rc
     ok = bool(summary["ok"]) or not args.smoke
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -861,22 +1007,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             recovery_steps=recover if recover > 0 else None,
             seed=args.seed,
         )
-    result = serving_run(
-        num_moe_layers=args.layers,
-        num_gpus=args.gpus,
-        num_experts=args.experts,
-        num_requests=args.requests,
-        mean_tokens=args.mean_tokens,
-        max_batch_tokens=args.batch_tokens,
-        arrival=args.arrival,
-        load=args.load,
-        slo_batches=args.slo_batches,
-        skew=args.skew,
-        topic_drift=args.topic_drift,
-        num_topics=args.topics,
-        faults=faults,
-        seed=args.seed,
-    )
+    # serve always runs under a session: the latency table below is read
+    # from the metrics registry the engines publish into, not from
+    # report internals (tracing only when --trace-out asks for it).
+    with _telemetry_scope(args, force=True) as tel:
+        result = serving_run(
+            num_moe_layers=args.layers,
+            num_gpus=args.gpus,
+            num_experts=args.experts,
+            num_requests=args.requests,
+            mean_tokens=args.mean_tokens,
+            max_batch_tokens=args.batch_tokens,
+            arrival=args.arrival,
+            load=args.load,
+            slo_batches=args.slo_batches,
+            skew=args.skew,
+            topic_drift=args.topic_drift,
+            num_topics=args.topics,
+            faults=faults,
+            seed=args.seed,
+        )
     summary = result.summary()
     try:
         path = write_report(summary, Path(args.output))
@@ -884,6 +1034,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot write report to {args.output}: {exc}",
               file=sys.stderr)
         return 2
+    emit_rc = _emit_telemetry(args, tel, quiet=args.json)
+    if emit_rc:
+        return emit_rc
     ok = bool(summary["ok"]) or not args.smoke
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -904,15 +1057,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"  {'server':<16} {'p50':>9} {'p95':>9} {'p99':>9} "
         f"{'goodput':>12} {'SLO-att':>8} {'actions':>8}"
     )
-    for name, key in (("FlexMoE-serving", "flexmoe"), ("StaticServing", "static")):
-        s = summary[key]
+    gauges = tel.registry.snapshot()["gauges"]
+
+    def _gauge(metric: str, engine: str) -> float:
+        from repro.telemetry import metric_key
+
+        return float(gauges[metric_key(f"serving.{metric}", engine=engine)])
+
+    for name in ("FlexMoE-serving", "StaticServing"):
         print(
-            f"  {name:<16} {1e3 * s['p50_latency_s']:>7.3f}ms "
-            f"{1e3 * s['p95_latency_s']:>7.3f}ms "
-            f"{1e3 * s['p99_latency_s']:>7.3f}ms "
-            f"{s['goodput_tokens_per_s']:>10.0f}/s "
-            f"{s['slo_attainment']:>8.3f} "
-            f"{int(s['placement_actions']):>8}"
+            f"  {name:<16} {1e3 * _gauge('p50_latency_s', name):>7.3f}ms "
+            f"{1e3 * _gauge('p95_latency_s', name):>7.3f}ms "
+            f"{1e3 * _gauge('p99_latency_s', name):>7.3f}ms "
+            f"{_gauge('goodput_tokens_per_s', name):>10.0f}/s "
+            f"{_gauge('slo_attainment', name):>8.3f} "
+            f"{int(_gauge('placement_actions', name)):>8}"
         )
     print(
         f"  p99 speedup over Static: {summary['p99_speedup']:.2f}x, "
@@ -940,13 +1099,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         budget_bandwidth=args.budget_bandwidth,
         seed=args.seed,
     )
-    summary = composed_scenario_run(smoke=args.smoke, config=config)
+    with _telemetry_scope(args) as tel:
+        summary = composed_scenario_run(smoke=args.smoke, config=config)
     try:
         path = write_report(summary, Path(args.output))
     except OSError as exc:
         print(f"error: cannot write report to {args.output}: {exc}",
               file=sys.stderr)
         return 2
+    emit_rc = _emit_telemetry(args, tel, quiet=args.json)
+    if emit_rc:
+        return emit_rc
     ok = bool(summary["ok"]) or not args.smoke
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -999,13 +1162,17 @@ def _cmd_churn(args: argparse.Namespace) -> int:
 
     from repro.bench.churn import churn_bench_run, write_churn_report
 
-    report = churn_bench_run(smoke=args.smoke, seed=args.seed)
+    with _telemetry_scope(args) as tel:
+        report = churn_bench_run(smoke=args.smoke, seed=args.seed)
     try:
         path = write_churn_report(report, Path(args.output))
     except OSError as exc:
         print(f"error: cannot write report to {args.output}: {exc}",
               file=sys.stderr)
         return 2
+    emit_rc = _emit_telemetry(args, tel, quiet=args.json)
+    if emit_rc:
+        return emit_rc
     ok = bool(report["ok"]) or not args.smoke
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -1045,6 +1212,74 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import telemetry
+    from repro.sim.composed import ComposedScenarioConfig, composed_scenario_run
+
+    config = ComposedScenarioConfig(
+        num_moe_layers=args.layers,
+        num_gpus=args.gpus,
+        num_experts=args.experts,
+        num_requests=args.requests,
+        load=args.load,
+        num_failures=args.failures,
+        seed=args.seed,
+    )
+    with telemetry.session(reuse=False) as tel:
+        summary = composed_scenario_run(smoke=args.smoke, config=config)
+        try:
+            path = tel.write(Path(args.output))
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+        events = tel.tracer.events if tel.tracer is not None else []
+        kinds = dict(sorted(tel.timeline.kinds().items()))
+        num_series = len(tel.registry)
+    ok = bool(summary["ok"]) or not args.smoke
+    if args.json:
+        print(json.dumps(
+            {
+                "scenario": summary,
+                "trace_path": str(path),
+                "trace_events": len(events),
+                "timeline_kinds": kinds,
+                "metric_series": num_series,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0 if ok else 1
+
+    scenario = summary["scenario"]
+    serving = summary["serving"]
+    print(
+        f"traced composed scenario: {scenario['num_moe_layers']} MoE layers "
+        f"x {scenario['num_experts']} experts on {scenario['num_gpus']} "
+        f"GPUs, {scenario['num_requests']} requests, "
+        f"{scenario['num_failures']} timed outage(s)"
+    )
+    print(
+        f"  served {int(serving['requests_served'])} requests "
+        f"(SLO attainment {serving['slo_attainment']:.3f}); kernel "
+        f"processed {summary['processed_events']} events"
+    )
+    print(
+        f"  captured {len(events)} trace events, "
+        f"{sum(kinds.values())} decision-timeline entries, "
+        f"{num_series} metric series"
+    )
+    print(
+        "  decisions: "
+        + "  ".join(f"{kind}={count}" for kind, count in kinds.items())
+    )
+    print(f"  trace written to {path} (open in Perfetto: ui.perfetto.dev)")
+    if args.smoke:
+        print("trace smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1056,6 +1291,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "scenario": _cmd_scenario,
         "churn": _cmd_churn,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster.profiler import ClusterProfile
 from repro.config import FORWARD_FRACTION, MoEModelConfig
 from repro.core.placement import Placement
@@ -429,6 +430,11 @@ class MemoizedStepCost:
             self._cache.move_to_end(key)
             self.hits += 1
             self._count_phase(phase, hit=True)
+            tel = telemetry.current()
+            if tel is not None:
+                tel.registry.counter(
+                    "memo.hits", phase=phase or "unscoped"
+                ).inc()
             return cached
         routes = self._router.route_fractional(assignment, placement)
         value = self._cost_model.step_time(routes, placement)
@@ -437,6 +443,11 @@ class MemoizedStepCost:
             self._cache.popitem(last=False)
         self.misses += 1
         self._count_phase(phase, hit=False)
+        tel = telemetry.current()
+        if tel is not None:
+            tel.registry.counter(
+                "memo.misses", phase=phase or "unscoped"
+            ).inc()
         return value
 
     def _count_phase(self, phase: str | None, hit: bool) -> None:
@@ -468,3 +479,25 @@ class MemoizedStepCost:
             "entries": float(len(self._cache)),
             "phases": self.phase_stats(),
         }
+
+    def publish(self, registry) -> None:
+        """Publish the accumulated hit/miss accounting into a
+        :class:`~repro.telemetry.registry.MetricsRegistry` (the pull
+        side of the memo tap: harnesses that time runs with telemetry
+        off publish the totals after the fact)."""
+        phases = dict(self._phase_stats)
+        scoped_hits = sum(h for h, _ in phases.values())
+        scoped_misses = sum(m for _, m in phases.values())
+        for phase, (hits, misses) in sorted(phases.items()):
+            registry.counter("memo.hits", phase=phase).inc(hits)
+            registry.counter("memo.misses", phase=phase).inc(misses)
+        if self.hits > scoped_hits:
+            registry.counter("memo.hits", phase="unscoped").inc(
+                self.hits - scoped_hits
+            )
+        if self.misses > scoped_misses:
+            registry.counter("memo.misses", phase="unscoped").inc(
+                self.misses - scoped_misses
+            )
+        registry.gauge("memo.entries").set(len(self._cache))
+        registry.gauge("memo.hit_rate").set(self.hit_rate)

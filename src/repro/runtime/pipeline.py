@@ -64,6 +64,7 @@ from repro.core.router import FlexibleTokenRouter, RoutingPlan
 from repro.core.scheduler import Scheduler, SchedulingOutcome
 from repro.core.trigger import Trigger
 from repro.exceptions import PlacementError, SimulationError
+from repro import telemetry
 from repro.runtime.adjustment import AdjustmentQueue
 from repro.runtime.executor import (
     PipelinedStepExecutor,
@@ -1082,10 +1083,15 @@ class MultiLayerFlexMoEEngine:
         blocking = self._pending_event_blocking
         self._pending_event_blocking = 0.0
         outcomes = []
-        for layer, assignment in zip(self._layers, observed):
+        tel = telemetry.current()
+        for index, (layer, assignment) in enumerate(
+            zip(self._layers, observed)
+        ):
             layer_blocking, outcome = layer.begin_step(assignment, step_index)
             blocking += layer_blocking
             outcomes.append(outcome)
+            if tel is not None and outcome.triggered:
+                self._observe_trigger(tel, index, step_index, outcome)
         return PendingStep(
             step_index=step_index,
             assignments=assignments,
@@ -1093,6 +1099,47 @@ class MultiLayerFlexMoEEngine:
             outcomes=outcomes,
             blocking=blocking,
         )
+
+    def _observe_trigger(
+        self, tel, layer_index: int, step_index: int, outcome
+    ) -> None:
+        """Telemetry tap: a layer's trigger fired. Records the firing
+        and each Migrate/Expand/Shrink placement on the control-plane
+        decision timeline (stamped with the bound simulation clock),
+        plus per-kind action counters."""
+        now = tel.now(default=float(step_index))
+        subject = f"layer[{layer_index}]"
+        registry = tel.registry
+        registry.counter("scheduler.triggers").inc()
+        tel.decision(
+            now,
+            "trigger",
+            subject,
+            step=step_index,
+            actions=len(outcome.actions),
+        )
+        for action in outcome.actions:
+            if isinstance(action, Migrate):
+                kind, detail = "migrate", {
+                    "expert_a": int(action.expert_a),
+                    "gpu_a": int(action.gpu_a),
+                    "expert_b": int(action.expert_b),
+                    "gpu_b": int(action.gpu_b),
+                }
+            elif isinstance(action, Expand):
+                kind, detail = "expand", {
+                    "expert": int(action.expert),
+                    "gpu": int(action.gpu),
+                }
+            elif isinstance(action, Shrink):
+                kind, detail = "shrink", {
+                    "expert": int(action.expert),
+                    "gpu": int(action.gpu),
+                }
+            else:  # pragma: no cover - no other primitives today
+                kind, detail = type(action).__name__.lower(), {}
+            registry.counter("scheduler.actions", kind=kind).inc()
+            tel.decision(now, kind, subject, step=step_index, **detail)
 
     def step_execute(self, pending: PendingStep) -> PipelineStepTiming:
         """The execute phase (kernel priority STEP).

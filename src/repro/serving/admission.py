@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.serving.requests import Request, TenantSpec
 
@@ -120,11 +121,17 @@ class AdmissionQueue:
             and self._queued_tokens + request.tokens > limit
         ):
             self._rejected += 1
+            tel = telemetry.current()
+            if tel is not None:
+                tel.registry.counter("admission.rejected").inc()
             return False
         self._queue.append(request)
         self._queued_tokens += request.tokens
         if self._meta is not None:
             self._meta.append((request.arrival, request.tokens, request.topic))
+        tel = telemetry.current()
+        if tel is not None:
+            tel.registry.counter("admission.admitted").inc()
         return True
 
     def next_batch(self) -> tuple[Request, ...]:
@@ -369,6 +376,7 @@ class PriorityAdmissionQueue:
                 self._shed_low_priority and self._shed_for(request, limit)
             ):
                 self._rejected += 1
+                self._observe_admission("rejected", tenant)
                 return False
         tenant_limit = self._tenants[tenant].max_queue_tokens
         if (
@@ -377,6 +385,7 @@ class PriorityAdmissionQueue:
             and self._tenant_tokens[tenant] + request.tokens > tenant_limit
         ):
             self._rejected += 1
+            self._observe_admission("rejected", tenant)
             return False
         if self._policy == "fifo":
             self._fifo.append(request)
@@ -385,7 +394,17 @@ class PriorityAdmissionQueue:
         self._tenant_tokens[tenant] += request.tokens
         self._queued_tokens += request.tokens
         self._queued_requests += 1
+        self._observe_admission("admitted", tenant)
         return True
+
+    @staticmethod
+    def _observe_admission(outcome: str, tenant: int) -> None:
+        """Telemetry tap: one admission decision (no-op when off)."""
+        tel = telemetry.current()
+        if tel is not None:
+            tel.registry.counter(
+                f"admission.{outcome}", tenant=tenant
+            ).inc()
 
     def _shed_for(self, request: Request, limit: int) -> bool:
         """Shed strictly-lower-priority queued work until ``request`` fits.
@@ -432,6 +451,16 @@ class PriorityAdmissionQueue:
             self._queued_requests -= 1
             self._shed_counts[victim.tenant] += 1
             self._shed.append(victim)
+        tel = telemetry.current()
+        if tel is not None:
+            tel.registry.counter("admission.shed").inc(len(victims))
+            tel.decision(
+                tel.now(),
+                "shed",
+                f"tenant[{request.tenant}]",
+                victims=len(victims),
+                freed_tokens=freed,
+            )
         return True
 
     # ------------------------------------------------------------------

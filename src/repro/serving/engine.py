@@ -39,6 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.runtime.pipeline import MultiLayerFlexMoEEngine
 from repro.sim import MultiTenantServingSource, Scenario, ServingSource
@@ -660,7 +661,7 @@ class _ServingRun:
             if self._vectorized
             else tuple(self.records)
         )
-        return ServingReport(
+        report = ServingReport(
             engine=type(self._server).name,
             records=records,
             rejected=rejected,
@@ -669,6 +670,14 @@ class _ServingRun:
             sim_duration=sim_duration,
             placement_actions=self.actions,
         )
+        tel = telemetry.current()
+        if tel is not None:
+            # Publish the run's aggregates (percentiles, goodput,
+            # attainment) and the rolling window's final signals so
+            # readers consume the registry, not the report internals.
+            report.publish_metrics(tel.registry)
+            self.window.publish(tel.registry, engine=report.engine)
+        return report
 
 
 class _MultiTenantRun(_ServingRun):

@@ -263,6 +263,14 @@ class LatencyWindow:
             return b - diff * (1.0 - gamma)
         return a + diff * gamma
 
+    def publish(self, registry, prefix: str = "serving.window", **labels) -> None:
+        """Publish the window's rolling signals as gauges into a
+        :class:`~repro.telemetry.registry.MetricsRegistry`."""
+        p99 = self.p99()
+        if p99 is not None:
+            registry.gauge(f"{prefix}.p99_s", **labels).set(p99)
+        registry.gauge(f"{prefix}.size", **labels).set(self._size)
+
     def attainment(self, target: float) -> float | None:
         """Rolling SLO attainment: the fraction of the window's
         latencies at or under ``target``, or ``None`` before any request
@@ -404,6 +412,14 @@ class ServingReport:
             "slo_attainment": self.slo_attainment,
             "placement_actions": float(self.placement_actions),
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Publish this report's aggregates into a
+        :class:`~repro.telemetry.registry.MetricsRegistry`, labeled by
+        engine -- the tap the CLI reads its percentile table from
+        instead of reaching into the report object."""
+        for name, value in self.summary().items():
+            registry.gauge(f"serving.{name}", engine=self.engine).set(value)
 
     # ------------------------------------------------------------------
     # Multi-tenant accounting (requires ``tenancy``)

@@ -38,6 +38,7 @@ from enum import IntEnum
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 from repro.exceptions import SimulationError
+from repro.telemetry.tracing import KernelTraceSink, TraceTrack
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.scenario import Scenario
@@ -179,6 +180,15 @@ class SimKernel:
             processed event in :attr:`trace`. Used by the determinism
             tests (same-seed scenarios must produce byte-identical
             traces); off by default to keep long simulations lean.
+        tracer: A :class:`~repro.telemetry.tracing.TraceTrack` to mirror
+            every processed event into as a Chrome trace event (one
+            zero-duration complete event on the lane of its priority).
+            Sources read it back via :attr:`tracer` to emit their own
+            spans on the same track. ``record_trace`` and ``tracer``
+            share one observation path
+            (:class:`~repro.telemetry.tracing.KernelTraceSink`); with
+            neither, the drain loops pay a single ``is not None``
+            branch per event.
         batch_drain: Drain same-timestamp event groups as one slice
             (default). All events sharing the head time are popped
             together in ``(priority, seq)`` order and dispatched without
@@ -192,7 +202,10 @@ class SimKernel:
     """
 
     def __init__(
-        self, record_trace: bool = False, batch_drain: bool = True
+        self,
+        record_trace: bool = False,
+        batch_drain: bool = True,
+        tracer: TraceTrack | None = None,
     ) -> None:
         self._clock = SimClock()
         self._queue = EventQueue()
@@ -200,8 +213,10 @@ class SimKernel:
         self._batch_drain = bool(batch_drain)
         self._draining_time: float | None = None
         self._drain_buffer: list[SimEvent] = []
-        self._trace: list[tuple[float, int, int, str]] | None = (
-            [] if record_trace else None
+        self._sink: KernelTraceSink | None = (
+            KernelTraceSink(record_trace, tracer)
+            if (record_trace or tracer is not None)
+            else None
         )
 
     # ------------------------------------------------------------------
@@ -227,7 +242,17 @@ class SimKernel:
     @property
     def trace(self) -> tuple[tuple[float, int, int, str], ...]:
         """Processed-event log (empty unless ``record_trace`` was set)."""
-        return tuple(self._trace or ())
+        if self._sink is None or self._sink.tuples is None:
+            return ()
+        return tuple(self._sink.tuples)
+
+    @property
+    def tracer(self) -> TraceTrack | None:
+        """The Chrome trace track this kernel mirrors into, if any.
+
+        Sources use it to emit their own spans (pipeline phases,
+        serving batches, decision instants) on the kernel's track."""
+        return self._sink.track if self._sink is not None else None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -300,6 +325,7 @@ class SimKernel:
 
     def _run_serial(self, until: float | None, max_events: int) -> float:
         """Reference drain: one heap pop per dispatched event."""
+        sink = self._sink
         while self._queue:
             if self._processed >= max_events:
                 raise SimulationError(
@@ -311,10 +337,8 @@ class SimKernel:
             event = self._queue.pop()
             self._clock.advance_to(event.time)
             self._processed += 1
-            if self._trace is not None:
-                self._trace.append(
-                    (event.time, event.priority, event.seq, event.label)
-                )
+            if sink is not None:
+                sink.observe(event.time, event.priority, event.seq, event.label)
             event.callback()
         if until is not None:
             self._clock.advance_to(max(self._clock.now, until))
@@ -333,6 +357,7 @@ class SimKernel:
         """
         queue = self._queue
         buffer = self._drain_buffer
+        sink = self._sink
         while queue:
             if self._processed >= max_events:
                 raise SimulationError(
@@ -352,9 +377,9 @@ class SimKernel:
                 # untied case.
                 self._clock.advance_to(group_time)
                 self._processed += 1
-                if self._trace is not None:
-                    self._trace.append(
-                        (first.time, first.priority, first.seq, first.label)
+                if sink is not None:
+                    sink.observe(
+                        first.time, first.priority, first.seq, first.label
                     )
                 first.callback()
                 continue
@@ -381,9 +406,9 @@ class SimKernel:
                     else:
                         event = buffer.pop(0)
                     self._processed += 1
-                    if self._trace is not None:
-                        self._trace.append(
-                            (event.time, event.priority, event.seq, event.label)
+                    if sink is not None:
+                        sink.observe(
+                            event.time, event.priority, event.seq, event.label
                         )
                     event.callback()
             finally:

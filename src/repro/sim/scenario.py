@@ -19,8 +19,9 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
-from repro.sim.kernel import EventSource, SimKernel
+from repro.sim.kernel import EventSource, Priority, SimKernel
 
 
 def smoke_scale(value: int | float, floor: int | float = 1) -> int | float:
@@ -99,8 +100,28 @@ class Scenario:
         ``batch_drain=False`` runs the kernel's one-at-a-time reference
         drain (see :class:`~repro.sim.kernel.SimKernel`) -- dispatch
         order is identical; only the heap traffic differs.
+
+        When a :mod:`repro.telemetry` session is active, the run binds
+        to it: the session clock follows this kernel, and -- if the
+        session carries a tracer -- the kernel gets its own trace track
+        (one Chrome "process" per kernel, priority lanes named after
+        :class:`~repro.sim.kernel.Priority`) so every processed event
+        and every source-emitted span lands in the export. Telemetry
+        never changes scheduling decisions; disabled runs skip all of
+        this at the cost of one branch.
         """
-        kernel = SimKernel(record_trace=record_trace, batch_drain=batch_drain)
+        session = telemetry.current()
+        track = None
+        if session is not None and session.tracer is not None:
+            track = session.tracer.new_track(self.name)
+            for priority in Priority:
+                track.thread_name(int(priority), f"kernel/{priority.name}")
+        kernel = SimKernel(
+            record_trace=record_trace, batch_drain=batch_drain, tracer=track
+        )
+        if session is not None:
+            session.bind_clock(lambda: kernel.now)
+            session.bind_track(track)
         for source in self.sources:
             source.prime(kernel, self)
         kernel.run(until=self.duration, max_events=max_events)

@@ -34,9 +34,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
+from repro import telemetry
 from repro.cluster.events import ClusterEvent
 from repro.exceptions import SimulationError
 from repro.sim.kernel import Priority, SimKernel
+from repro.telemetry.tracing import TID_PIPELINE, TID_SERVING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.scenario import Scenario
@@ -84,15 +86,33 @@ class PipelineStepSource:
     def _schedule_step(self, kernel: SimKernel, t: int) -> None:
         engine, trace = self._engine, self._trace
         pending: list = []
+        # The kernel's trace track (None when tracing is off). Only this
+        # source writes the pipeline lane, so the B/E pairs below are
+        # properly nested by construction.
+        track = kernel.tracer
 
         def schedule_phase() -> None:
+            if track is not None:
+                track.begin(f"step[{t}]", kernel.now, TID_PIPELINE)
+                track.begin("schedule", kernel.now, TID_PIPELINE)
             pending.append(engine.step_schedule(trace.step(t), t))
+            if track is not None:
+                track.end("schedule", kernel.now, TID_PIPELINE)
 
         def execute_phase() -> None:
+            if track is not None:
+                track.begin("execute", kernel.now, TID_PIPELINE)
             engine.step_execute(pending[0])
+            if track is not None:
+                track.end("execute", kernel.now, TID_PIPELINE)
 
         def commit_phase() -> None:
+            if track is not None:
+                track.begin("commit", kernel.now, TID_PIPELINE)
             self.results.append(engine.step_commit(pending[0]))
+            if track is not None:
+                track.end("commit", kernel.now, TID_PIPELINE)
+                track.end(f"step[{t}]", kernel.now, TID_PIPELINE)
 
         kernel.schedule_at(
             t, schedule_phase, Priority.TRIGGER, label=f"step[{t}].schedule"
@@ -152,9 +172,17 @@ class ElasticitySource:
         for step in steps:
             if scenario.duration is not None and step >= scenario.duration:
                 continue
+
+            def fire(step=step) -> None:
+                engine.apply_elasticity(step)
+                tel = telemetry.current()
+                if tel is not None:
+                    tel.registry.counter("cluster.elasticity_steps").inc()
+                    tel.decision(float(step), "elasticity", f"step[{step}]")
+
             kernel.schedule_at(
                 step,
-                lambda step=step: engine.apply_elasticity(step),
+                fire,
                 Priority.FAILURE,
                 label=f"elasticity[{step}]",
             )
@@ -186,6 +214,12 @@ class TimedClusterEventSource:
             def deliver(time=time, event=event) -> None:
                 engine.apply_cluster_events((event,), when=time)
                 self.applied.append((time, event))
+                tel = telemetry.current()
+                if tel is not None:
+                    tel.registry.counter(
+                        "cluster.events", kind=event.kind
+                    ).inc()
+                    tel.decision(time, event.kind, f"gpu[{event.gpu}]")
 
             kernel.schedule_at(
                 time,
@@ -329,6 +363,7 @@ class ServingSource:
         batch = self._queue.next_batch()
         execute = self._serve(batch, self._kernel.now, self.num_batches)
         self._busy = True
+        self._observe_batch(batch, execute)
         self.num_batches += 1
         self._kernel.schedule(
             execute,
@@ -336,6 +371,25 @@ class ServingSource:
             Priority.COMPLETION,
             label=f"complete[{self.num_batches - 1}]",
         )
+
+    def _observe_batch(self, batch, execute: float) -> None:
+        """Telemetry tap at dispatch: batch counters plus one serving
+        span with the batch's modelled duration (a no-op when off)."""
+        tel = telemetry.current()
+        if tel is None:
+            return
+        tel.registry.counter("serving.batches").inc()
+        tel.registry.counter("serving.batch_requests").inc(len(batch))
+        track = self._kernel.tracer
+        if track is not None:
+            track.complete(
+                f"batch[{self.num_batches}]",
+                self._kernel.now,
+                execute,
+                TID_SERVING,
+                cat="serving",
+                args={"requests": len(batch)},
+            )
 
     def _complete(self) -> None:
         self._busy = False
@@ -431,6 +485,7 @@ class MultiTenantServingSource(ServingSource):
         now = self._kernel.now
         execute = self._serve(batch, now, self.num_batches)
         self._busy = True
+        self._observe_batch(batch, execute)
         self._inflight = (
             batch,
             now,
@@ -468,6 +523,19 @@ class MultiTenantServingSource(ServingSource):
         self.preemptions += 1
         self.preempted_requests += len(batch)
         self.wasted_seconds += elapsed
+        tel = telemetry.current()
+        if tel is not None:
+            tel.registry.counter("serving.preemptions").inc()
+            tel.registry.counter(
+                "serving.preempted_requests"
+            ).inc(len(batch))
+            tel.decision(
+                self._kernel.now,
+                "preempt",
+                f"batch[{self.num_batches - 1}]",
+                requests=len(batch),
+                wasted_seconds=elapsed,
+            )
         if self._preempted_cb is not None:
             self._preempted_cb(batch, start, elapsed)
 
@@ -509,8 +577,15 @@ class StreamBudgetSource:
         budget = self._bandwidth * self._interval
 
         def grant() -> None:
-            self.committed += self._engine.advance_streams(budget)
+            committed = self._engine.advance_streams(budget)
+            self.committed += committed
             self.grants += 1
+            tel = telemetry.current()
+            if tel is not None:
+                tel.registry.counter("budget.grants").inc()
+                tel.registry.counter(
+                    "budget.committed_actions"
+                ).inc(committed)
 
         ticks = int(scenario.duration / self._interval)
         for tick in range(1, ticks + 1):
@@ -615,10 +690,32 @@ class AutoscalerSource:
         self.notices = 0
         self.drain_seconds = 0.0
 
+    #: Decision-log action -> control-plane timeline kind.
+    _TIMELINE_KINDS = {
+        "request": "scale_request",
+        "provision": "provision",
+        "revoke": "revoke",
+        "notice": "revocation_notice",
+    }
+
     @property
     def provisioned_gpus(self) -> tuple[int, ...]:
         """Devices currently in the pool because this controller added them."""
         return tuple(self._scaled_up)
+
+    def _record_decision(self, time: float, action: str, gpu: int) -> None:
+        """Append to :attr:`decisions` and tap the telemetry layer."""
+        self.decisions.append((time, action, gpu))
+        tel = telemetry.current()
+        if tel is not None:
+            tel.registry.counter(
+                "autoscaler.decisions", action=action
+            ).inc()
+            tel.decision(
+                time,
+                self._TIMELINE_KINDS.get(action, action),
+                f"gpu[{gpu}]",
+            )
 
     def prime(self, kernel: SimKernel, scenario: "Scenario") -> None:
         if scenario.duration is None:
@@ -694,7 +791,7 @@ class AutoscalerSource:
         while requested < count and self._standby:
             gpu = self._standby.pop(0)
             self._outstanding += 1
-            self.decisions.append((now, "request", gpu))
+            self._record_decision(now, "request", gpu)
             arrive_at = now + self._delay
             if self._horizon is not None and arrive_at > self._horizon:
                 # The device would join after the scenario ends; the
@@ -721,7 +818,7 @@ class AutoscalerSource:
         self._engine.apply_cluster_events((event,), when=self._kernel.now)
         self._scaled_up.append(gpu)
         self.scale_ups += 1
-        self.decisions.append((self._kernel.now, "provision", gpu))
+        self._record_decision(self._kernel.now, "provision", gpu)
 
     def _release_newest(self) -> None:
         gpu = self._scaled_up.pop()
@@ -732,7 +829,7 @@ class AutoscalerSource:
         self._engine.apply_cluster_events((event,), when=self._kernel.now)
         self._standby.append(gpu)  # reusable standby capacity
         self.scale_downs += 1
-        self.decisions.append((self._kernel.now, "revoke", gpu))
+        self._record_decision(self._kernel.now, "revoke", gpu)
 
     # ------------------------------------------------------------------
     # Churn integration
@@ -752,7 +849,7 @@ class AutoscalerSource:
         self.notices += 1
         now = self._kernel.now
         for gpu in doomed:
-            self.decisions.append((now, "notice", gpu))
+            self._record_decision(now, "notice", gpu)
             if gpu in self._scaled_up:
                 self._scaled_up.remove(gpu)  # reclaimed, not reusable
         self.drain_seconds += self._engine.notify_revocation(tuple(doomed))

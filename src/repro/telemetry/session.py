@@ -1,0 +1,150 @@
+"""Telemetry session: the unit of activation, scoping and export.
+
+A session bundles one :class:`~repro.telemetry.registry.MetricsRegistry`,
+one :class:`~repro.telemetry.timeline.DecisionTimeline` and (optionally)
+one :class:`~repro.telemetry.tracing.SpanTracer`, and is installed as a
+module-level current session. Tap points across the codebase consult
+:func:`current` -- a single module-global read plus ``is not None``
+branch -- so a run without an active session pays near-zero cost (gated
+by the telemetry-overhead benchmark in :mod:`repro.bench.perf`).
+
+Scoping rules:
+
+- :func:`session` is reentrant: entering it while a session is already
+  active *reuses* the active session (so ``python -m repro serve
+  --trace-out`` composes with harnesses that open their own scope).
+- :func:`suppressed` force-deactivates telemetry for its body, used by
+  perf benchmarks to time the true disabled mode even when the caller
+  holds a session.
+
+Export produces one artifact: ``{"traceEvents": [...], "metadata":
+{"metrics": ..., "timeline": ...}}``, which Perfetto and
+``chrome://tracing`` load directly (both ignore unknown metadata keys).
+The JSON is dumped with sorted keys so a seeded run exports
+byte-identical bytes every time.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.timeline import DecisionTimeline, TimelineEvent
+from repro.telemetry.tracing import SpanTracer, TraceTrack
+
+_ACTIVE: "TelemetrySession | None" = None
+
+
+def current() -> "TelemetrySession | None":
+    """The active session, or ``None`` when telemetry is disabled.
+
+    This is THE tap-point guard: every instrumented subsystem calls it
+    once per observation and skips all telemetry work on ``None``.
+    """
+    return _ACTIVE
+
+
+class TelemetrySession:
+    """One activation scope of the telemetry layer."""
+
+    def __init__(self, trace: bool = True) -> None:
+        self.registry = MetricsRegistry()
+        self.timeline = DecisionTimeline()
+        self.tracer: SpanTracer | None = SpanTracer() if trace else None
+        self._clock: Callable[[], float] | None = None
+        self._track: TraceTrack | None = None
+
+    # -- clock / track -------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float] | None) -> None:
+        """Bind the simulation clock (``lambda: kernel.now``) so tap
+        points without direct kernel access (admission queues, memo)
+        can stamp timeline events with simulated time."""
+        self._clock = clock
+
+    def bind_track(self, track: TraceTrack | None) -> None:
+        """Bind the running kernel's trace track so :meth:`decision`
+        can mirror timeline events as instants on it."""
+        self._track = track
+
+    def now(self, default: float = 0.0) -> float:
+        clock = self._clock
+        return clock() if clock is not None else default
+
+    # -- decisions -----------------------------------------------------
+    def decision(
+        self, time: float, kind: str, subject: str, **details: object
+    ) -> TimelineEvent:
+        """Record a control-plane decision; mirrored as a Chrome "i"
+        instant on the bound track's control-plane lane (if tracing)."""
+        event = self.timeline.record(time, kind, subject, **details)
+        track = self._track
+        if track is not None:
+            track.instant(
+                f"{kind} {subject}", time, args=event.details or None
+            )
+        return event
+
+    # -- export --------------------------------------------------------
+    def export(self) -> dict:
+        """The combined artifact: Chrome trace events plus metrics
+        snapshot and decision timeline in ``metadata``."""
+        events = self.tracer.events if self.tracer is not None else []
+        return {
+            "traceEvents": list(events),
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "clock": "sim-seconds * 1e6 -> trace microseconds",
+                "metrics": self.registry.snapshot(),
+                "timeline": self.timeline.to_dicts(),
+                "timeline_kinds": dict(
+                    sorted(self.timeline.kinds().items())
+                ),
+            },
+        }
+
+    def export_json(self) -> str:
+        return json.dumps(self.export(), indent=2, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.write_text(self.export_json() + "\n", encoding="utf-8")
+        return out
+
+
+@contextmanager
+def session(
+    trace: bool = True, reuse: bool = True
+) -> Iterator[TelemetrySession]:
+    """Activate a telemetry session for the ``with`` body.
+
+    With ``reuse=True`` (default) an already-active session is reused,
+    so nested scopes share one registry/timeline/tracer. ``reuse=False``
+    always installs a fresh session (benchmarks that must start from an
+    empty buffer), restoring the previous one on exit.
+    """
+    global _ACTIVE
+    if reuse and _ACTIVE is not None:
+        yield _ACTIVE
+        return
+    previous = _ACTIVE
+    active = TelemetrySession(trace=trace)
+    _ACTIVE = active
+    try:
+        yield active
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def suppressed() -> Iterator[None]:
+    """Force telemetry off for the body, even inside a session scope."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous

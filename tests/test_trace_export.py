@@ -1,0 +1,122 @@
+"""Trace export contracts: determinism, Chrome schema, span nesting.
+
+docs/observability.md promises three properties of the exported
+artifact, each asserted here:
+
+* a seeded run exports **byte-identical** JSON every time (sorted keys,
+  simulation clock only -- no wall-clock anywhere);
+* every event satisfies the **Chrome trace-event schema** subset we
+  emit (ph in {X, B, E, i, M}, numeric microsecond timestamps, X events
+  carry a duration, instants carry a scope);
+* B/E phase spans are **properly nested** per (pid, tid) lane, so
+  Perfetto renders the schedule/execute/commit split without orphans.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.bench.harness import pipeline_run
+
+VALID_PH = {"X", "B", "E", "i", "M"}
+
+
+def _traced_pipeline_export() -> str:
+    """One small seeded pipeline run under a fresh session -> JSON."""
+    with telemetry.session(reuse=False) as tel:
+        pipeline_run(
+            num_moe_layers=2, num_gpus=8, num_experts=16, num_steps=8,
+            tokens_per_gpu=4096, d_model=256, d_ffn=1024, warmup=2, seed=0,
+        )
+        return tel.export_json()
+
+
+@pytest.fixture(scope="module")
+def export() -> str:
+    return _traced_pipeline_export()
+
+
+@pytest.fixture(scope="module")
+def artifact(export) -> dict:
+    return json.loads(export)
+
+
+def test_same_seed_exports_byte_identical_json(export):
+    assert _traced_pipeline_export() == export
+
+
+def test_artifact_top_level_shape(artifact):
+    assert set(artifact) >= {"traceEvents", "displayTimeUnit", "metadata"}
+    assert artifact["displayTimeUnit"] == "ms"
+    metadata = artifact["metadata"]
+    assert set(metadata) >= {"clock", "metrics", "timeline", "timeline_kinds"}
+    assert set(metadata["metrics"]) == {"counters", "gauges", "histograms"}
+    # The pipeline scheduler tap must have recorded trigger firings.
+    assert metadata["metrics"]["counters"].get("scheduler.triggers", 0) > 0
+    assert len(metadata["timeline"]) == sum(
+        metadata["timeline_kinds"].values()
+    )
+
+
+def test_events_satisfy_chrome_schema(artifact):
+    events = artifact["traceEvents"]
+    assert events, "a traced run must export events"
+    for event in events:
+        assert event["ph"] in VALID_PH, event
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], (int, float)), event
+            assert event["ts"] >= 0.0
+        if event["ph"] == "X":
+            assert event["dur"] >= 0.0, event
+        if event["ph"] == "i":
+            assert event.get("s") == "t", event
+    assert any(e.get("cat") == "kernel" for e in events)
+
+
+def test_begin_end_spans_nest_per_lane(artifact):
+    stacks: dict[tuple[int, int], list[str]] = {}
+    saw_pairs = False
+    for event in artifact["traceEvents"]:
+        if event["ph"] not in ("B", "E"):
+            continue
+        stack = stacks.setdefault((event["pid"], event["tid"]), [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        else:
+            assert stack, f"E without matching B: {event}"
+            assert stack.pop() == event["name"], event
+            saw_pairs = True
+    assert saw_pairs, "pipeline runs must emit B/E phase spans"
+    for lane, stack in stacks.items():
+        assert not stack, f"unclosed spans on lane {lane}: {stack}"
+
+
+def test_step_phases_nest_inside_step_span(artifact):
+    # The pipeline lane's stack discipline implies more: each
+    # schedule/execute/commit span opens while its step[t] is open.
+    depth_names = []
+    phase_names = set()
+    for event in artifact["traceEvents"]:
+        if event["ph"] == "B":
+            if not event["name"].startswith("step["):
+                # A phase span only ever opens inside its step[t] span.
+                assert depth_names and depth_names[-1].startswith(
+                    "step["
+                ), event
+                phase_names.add(event["name"])
+            depth_names.append(event["name"])
+        elif event["ph"] == "E":
+            depth_names.pop()
+    assert phase_names == {"schedule", "execute", "commit"}
+
+
+def test_write_appends_trailing_newline(tmp_path):
+    with telemetry.session(reuse=False) as tel:
+        tel.registry.counter("x").inc()
+        path = tel.write(tmp_path / "trace.json")
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text)["metadata"]["metrics"]["counters"] == {"x": 1.0}

@@ -17,7 +17,9 @@ Four guarantees, all enforced in CI (see CONTRIBUTING.md):
    every top-level module/subpackage of ``src/repro/`` must be mentioned
    in docs/architecture.md's package map (so new subsystems -- e.g.
    ``src/repro/sim/`` -- cannot land undocumented and deleted ones
-   cannot haunt the docs).
+   cannot haunt the docs). Subsystems with a dedicated doc get the same
+   per-module sync: every module of ``src/repro/telemetry/`` must be
+   mentioned in docs/observability.md.
 4. Repo hygiene: no ``__pycache__`` directory or compiled-bytecode file
    (``*.pyc`` / ``*.pyo``) is tracked by git, so they can never be
    (re-)committed (``.gitignore`` keeps them out of the index;
@@ -162,6 +164,33 @@ def check_module_sync(arch: Path) -> list[str]:
     return problems
 
 
+def check_subsystem_doc_sync(
+    package: str, doc: Path
+) -> list[str]:
+    """Every module of ``src/repro/<package>/`` is referenced in ``doc``.
+
+    The per-subsystem analogue of :func:`check_module_sync`: a new
+    module inside an instrumented subpackage (e.g.
+    ``src/repro/telemetry/``) cannot land without its dedicated doc
+    (``docs/observability.md``) mentioning ``repro.<package>.<module>``.
+    """
+    if not doc.exists():
+        return [f"{doc.name}: missing (expected at docs/{doc.name})"]
+    text = doc.read_text(encoding="utf-8")
+    problems = []
+    src = REPO / "src" / "repro" / package
+    for child in sorted(src.glob("*.py")):
+        if child.name.startswith("_"):
+            continue  # __init__
+        ref = f"repro.{package}.{child.stem}"
+        if ref not in text:
+            problems.append(
+                f"{doc.name}: module src/repro/{package}/{child.name} is "
+                f"not documented (mention {ref})"
+            )
+    return problems
+
+
 def check_no_tracked_bytecode() -> list[str]:
     """No ``__pycache__`` directory or ``*.pyc``/``*.pyo`` file is tracked.
 
@@ -257,6 +286,11 @@ def main() -> int:
     for path in doc_paths():
         if path != arch:  # arch already checked (two-way) above
             problems.extend(check_module_refs(path))
+    problems.extend(
+        check_subsystem_doc_sync(
+            "telemetry", REPO / "docs" / "observability.md"
+        )
+    )
     problems.extend(check_no_tracked_bytecode())
     problems.extend(check_bench_reports_documented())
     if problems:
