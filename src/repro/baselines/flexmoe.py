@@ -86,6 +86,13 @@ class FlexMoESystem(MoESystem):
         self._scheduler_config = self._layer.config
 
     def reset(self) -> None:
+        # Communicator warmth gates when pending adjustments commit (a
+        # cached group's creation is free), so a warm cache would make a
+        # replayed run adjust earlier than the original. Restore the
+        # cold-start condition along with the placement state.
+        cache = self._ctx.executor.group_cache
+        if cache is not None:
+            cache.clear()
         self._build()
         if self._flow_control is not None:
             self._flow_control = GateFlowController()

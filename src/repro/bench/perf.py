@@ -10,7 +10,9 @@ Three benchmark families:
   full-recompute reference evaluator, on one drifting single-layer
   scenario.  Both searches run the Policy Maker *and* the Migrate planner
   and must produce identical action sequences — a mismatch marks the run
-  failed.
+  failed.  A separate untimed pass records the replay's allocation
+  footprint (tracemalloc peak, retained blocks per step, peak RSS) so
+  per-step allocation storms regress visibly in the report.
 * :func:`pipeline_overhead_benchmark` — end-to-end simulated steps/second
   of the multi-layer pipelined engine with delta evaluation on vs off
   (identical seeds, identical simulated results required).
@@ -119,6 +121,61 @@ def _planner_pass(
     return elapsed, decisions, policy, migration
 
 
+def _allocation_footprint(
+    cost_model: MoECostModel,
+    topology: ClusterTopology,
+    trace,
+    slots: int,
+) -> dict[str, float]:
+    """Memory footprint of one delta planner replay (untimed).
+
+    Runs a full planner replay under :mod:`tracemalloc` — tracing slows
+    the pass severalfold, which is why this is a separate pass that never
+    touches the timed measurements.  Reported columns:
+
+    * ``tracemalloc_peak_kb`` / ``tracemalloc_current_kb`` — peak and
+      end-of-replay python-allocated memory during the replay.  An
+      accidental per-candidate allocation storm (the class of regression
+      the O(changed) hot paths exist to prevent) shows up as a peak far
+      above the steady-state current value.
+    * ``live_blocks_per_step`` — traced blocks still alive after the
+      replay divided by steps: the *retained* footprint growth rate.  A
+      leaky memo or an unbounded history list climbs here.
+    * ``net_alloc_blocks_per_step`` — interpreter-wide net allocated
+      blocks per step (:func:`sys.getallocatedblocks` delta), which also
+      counts allocations tracemalloc cannot see.
+    * ``peak_rss_kb`` — the process's lifetime peak resident set
+      (``ru_maxrss``); monotone across the whole benchmark process, so
+      only meaningful as a ceiling, not a per-pass delta.
+    """
+    import resource
+    import tracemalloc
+
+    gc.collect()
+    blocks_before = sys.getallocatedblocks()
+    tracemalloc.start()
+    try:
+        _planner_pass(cost_model, topology, trace, slots, use_delta=True)
+        current, peak = tracemalloc.get_traced_memory()
+        live_blocks = sum(
+            stat.count
+            for stat in tracemalloc.take_snapshot().statistics("filename")
+        )
+    finally:
+        tracemalloc.stop()
+    net_blocks = sys.getallocatedblocks() - blocks_before
+    steps = max(trace.num_steps, 1)
+    return {
+        "tracemalloc_peak_kb": peak / 1024.0,
+        "tracemalloc_current_kb": current / 1024.0,
+        "live_blocks_per_step": live_blocks / steps,
+        "net_alloc_blocks_per_step": net_blocks / steps,
+        "peak_rss_kb": float(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        ),
+    }
+
+
 def planner_benchmark(
     num_experts: int = 64,
     num_gpus: int = 16,
@@ -170,11 +227,13 @@ def planner_benchmark(
         cost_model, topology, trace, slots, use_delta=True
     )
     fallbacks = policy.delta.fallbacks + migration.delta.fallbacks
+    allocation = _allocation_footprint(cost_model, topology, trace, slots)
     return {
         "num_experts": num_experts,
         "num_gpus": num_gpus,
         "num_steps": num_steps,
         "rounds": rounds,
+        "allocation": allocation,
         "reference_seconds": ref_s,
         "delta_seconds": delta_s,
         "reference_rounds_per_sec": rounds / ref_s if ref_s > 0 else 0.0,

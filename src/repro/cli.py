@@ -300,6 +300,37 @@ def _add_perf_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json", action="store_true", help="print the report too")
 
 
+def _add_scale_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "scale",
+        help="datacenter-scale sweep: 64 to 4096 devices",
+        description=(
+            "Sweep cluster size from 64 to 4096 devices (experts and "
+            "layers scaled alongside) and record planner rounds/sec of "
+            "the hierarchical two-level placement search vs the flat "
+            "full-cluster sweep, engine steps/sec where the ground-truth "
+            "executor is feasible, and kernel events/sec with fan-out "
+            "scaled to the layer count. Writes the machine-readable "
+            "report to BENCH_scale.json."
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="64- and 1024-device columns only (what CI runs); fails "
+        "unless the ok marker holds",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--output",
+        default="BENCH_scale.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: BENCH_scale.json "
+        "in the current directory)",
+    )
+    p.add_argument("--json", action="store_true", help="print the report too")
+
+
 def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "serve",
@@ -526,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_parser(sub)
     _add_faults_parser(sub)
     _add_perf_parser(sub)
+    _add_scale_parser(sub)
     _add_serve_parser(sub)
     _add_scenario_parser(sub)
     _add_churn_parser(sub)
@@ -817,6 +849,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         f"({planner['speedup']:.1f}x), decisions "
         f"{'identical' if planner['decisions_match'] else 'DIVERGED'}"
     )
+    allocation = planner["allocation"]
+    print(
+        f"alloc     tracemalloc peak {allocation['tracemalloc_peak_kb']:8.0f} "
+        f"KiB  retained {allocation['live_blocks_per_step']:7.0f} blocks/step  "
+        f"peak RSS {allocation['peak_rss_kb'] / 1024.0:7.0f} MiB"
+    )
     for name in ("pipeline", "faults"):
         section = report[name]
         print(
@@ -884,6 +922,72 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     )
     print(f"report written to {path}")
     print("perf:", "OK" if report["ok"] else "FAILED")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.scale import scale_suite, write_report
+
+    output = Path(args.output)
+    probe_created = not output.exists()
+
+    def _remove_empty_probe() -> None:
+        # A failure after the probe must not leave the empty probe file
+        # behind masquerading as a report.
+        if probe_created:
+            try:
+                if output.stat().st_size == 0:
+                    output.unlink()
+            except OSError:
+                pass
+
+    try:
+        # Probe the report path up front: the full sweep runs for
+        # minutes and an unwritable --output should fail in
+        # milliseconds, not after.
+        with open(output, "a", encoding="utf-8"):
+            pass
+        report = scale_suite(smoke=args.smoke, seed=args.seed)
+        path = write_report(report, output)
+    except OSError as exc:
+        _remove_empty_probe()
+        print(f"error: cannot write report to {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
+    except BaseException:
+        _remove_empty_probe()
+        raise
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+
+    for entry in report["sizes"]:
+        planner = entry["planner"]
+        engine = entry["engine"]
+        events = entry["kernel_events"]
+        if "skipped" in engine:
+            engine_col = "engine --------- (dense route tensors)"
+        else:
+            engine_col = f"engine {engine['steps_per_sec']:7.2f} steps/s"
+        print(
+            f"{entry['num_gpus']:>5} GPUs x {entry['num_experts']:>3}E x "
+            f"{entry['num_moe_layers']:>2}L  "
+            f"planner hier {planner['hierarchical_rounds_per_sec']:8.2f} "
+            f"vs flat {planner['flat_rounds_per_sec']:8.2f} rounds/s "
+            f"({planner['speedup']:.2f}x, "
+            f"{'identical' if planner['decisions_match'] else 'quality ' + format(planner['quality_ratio'], '.4f')})  "
+            f"{engine_col}  "
+            f"kernel {events['events_per_sec']:9.0f} events/s"
+        )
+    print(
+        f"hierarchical wins at >= {report['hier_must_win_gpus']} GPUs: "
+        f"{'yes' if report['hierarchical_wins_at_scale'] else 'NO'}; "
+        f"delta fallbacks: {int(report['total_fallbacks'])}"
+    )
+    print(f"report written to {path}")
+    print("scale:", "OK" if report["ok"] else "FAILED")
     return 0 if report["ok"] else 1
 
 
@@ -1288,6 +1392,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "faults": _cmd_faults,
         "perf": _cmd_perf,
+        "scale": _cmd_scale,
         "serve": _cmd_serve,
         "scenario": _cmd_scenario,
         "churn": _cmd_churn,

@@ -90,8 +90,4 @@ class CollectiveCostModel:
         return nbytes / bottleneck + (len(group) - 1) * latency
 
     def _max_group_latency(self, group: Sequence[int]) -> float:
-        worst = 0.0
-        for i, a in enumerate(group):
-            for b in group[i + 1 :]:
-                worst = max(worst, self._topology.latency(a, b))
-        return worst
+        return self._topology.max_group_latency(group)

@@ -115,6 +115,11 @@ class ClusterState:
         self._initial_alive = self._alive.copy()
         self._speed = np.ones(num_gpus, dtype=float)
         self._version = 0
+        # Read-only snapshot views handed to hot paths; refreshed lazily
+        # when the version moves, so a quiet pool costs zero copies/step.
+        self._views_version = -1
+        self._live_view: np.ndarray | None = None
+        self._speed_view: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -167,6 +172,34 @@ class ClusterState:
     def speed_factors(self) -> np.ndarray:
         """Per-GPU dynamic compute multipliers (copy)."""
         return self._speed.copy()
+
+    def _refresh_views(self) -> None:
+        live = self._alive.copy()
+        live.setflags(write=False)
+        speed = self._speed.copy()
+        speed.setflags(write=False)
+        self._live_view = live
+        self._speed_view = speed
+        self._views_version = self._version
+
+    def live_view(self) -> np.ndarray:
+        """Read-only liveness vector, cached until the next mutation.
+
+        The zero-copy twin of :meth:`live_mask` for per-step hot paths
+        (cost models, planners, the executor): between elasticity events
+        repeated calls return the same frozen array instead of allocating
+        an O(G) copy each.
+        """
+        if self._views_version != self._version:
+            self._refresh_views()
+        return self._live_view
+
+    def speed_view(self) -> np.ndarray:
+        """Read-only speed-factor vector, cached until the next mutation
+        (see :meth:`live_view`)."""
+        if self._views_version != self._version:
+            self._refresh_views()
+        return self._speed_view
 
     def live_gpus(self) -> tuple[int, ...]:
         return tuple(int(g) for g in np.flatnonzero(self._alive))
@@ -395,10 +428,51 @@ def redistribute_assignment(
     live = np.flatnonzero(live_mask)
     if live.size == 0:
         raise ElasticityError("cannot redistribute tokens: no live device")
-    dead_totals = assignment[:, ~live_mask].sum(axis=1)
+    dead = np.flatnonzero(~live_mask)
+    dead_totals = assignment[:, dead].sum(axis=1)
     out = assignment.copy()
-    out[:, ~live_mask] = 0
+    out[:, dead] = 0
+    # Only experts that actually routed tokens to a dead device need
+    # re-sharding; everyone else's row is already correct.
+    rows = np.flatnonzero(dead_totals)
+    if rows.size:
+        base, remainder = np.divmod(dead_totals[rows], live.size)
+        out[np.ix_(rows, live)] += base[:, None] + (
+            np.arange(live.size)[None, :] < remainder[:, None]
+        )
+    return out
+
+
+def redistribute_assignments(
+    assignments: np.ndarray, live_mask: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`redistribute_assignment` over stacked layers.
+
+    ``assignments`` is ``(layers, experts, gpus)``; every layer is
+    re-sharded in one vectorized pass instead of a Python call per layer,
+    which is what keeps multi-dozen-layer pipelines O(1) in Python
+    overhead per step. Returns the input object itself when every device
+    is live (the common case), matching the 2-D function's no-copy
+    fast path.
+    """
+    assignments = np.asarray(assignments)
+    live_mask = np.asarray(live_mask, dtype=bool)
+    if assignments.ndim != 3 or assignments.shape[2] != live_mask.size:
+        raise ElasticityError(
+            f"assignments shape {assignments.shape} does not match "
+            f"{live_mask.size} devices (want (layers, experts, gpus))"
+        )
+    if live_mask.all():
+        return assignments
+    live = np.flatnonzero(live_mask)
+    if live.size == 0:
+        raise ElasticityError("cannot redistribute tokens: no live device")
+    dead = np.flatnonzero(~live_mask)
+    dead_totals = assignments[:, :, dead].sum(axis=2)  # (layers, experts)
+    out = assignments.copy()
+    out[:, :, dead] = 0
     base, remainder = np.divmod(dead_totals, live.size)
-    out[:, live] += base[:, None]
-    out[:, live] += np.arange(live.size)[None, :] < remainder[:, None]
+    out[:, :, live] += base[:, :, None] + (
+        np.arange(live.size)[None, None, :] < remainder[:, :, None]
+    )
     return out

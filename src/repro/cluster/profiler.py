@@ -7,7 +7,14 @@ sizes and then estimate the corresponding environmental variables" (Section
 
 * ``TPS`` — tokens/second of one expert on each GPU, fit from timed runs of
   the expert compute kernel over a sweep of input sizes;
-* ``Bw(g, g')`` — pairwise bandwidth, fit from timed transfers;
+* ``Bw(g, g')`` — pairwise bandwidth, fit from timed transfers. Real
+  fabrics have three link classes (device-local, intra-node, inter-node),
+  so at datacenter scale profiling probes one representative link per
+  class and reconstructs the implicit node-blocked
+  :class:`~repro.cluster.bandwidth.BandwidthModel` instead of timing all
+  O(G^2) pairs — 4096 devices take three probes, not 16M. Small fabrics
+  and clusters with per-GPU NIC scale factors keep the dense per-pair
+  sweep;
 * ``BPS(G')`` — AllReduce bytes/second per device group, measured lazily and
   cached (enumerating all groups up-front is exponential; the paper
   enumerates the groups it actually uses).
@@ -24,9 +31,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.cluster.bandwidth import BandwidthModel
 from repro.cluster.collectives import CollectiveCostModel
 from repro.cluster.topology import ClusterTopology
-from repro.config import MoEModelConfig
+from repro.config import HIERARCHICAL_AUTO_THRESHOLD, MoEModelConfig
 from repro.exceptions import ProfilingError
 
 
@@ -36,17 +44,30 @@ class ClusterProfile:
 
     Attributes:
         tps: Per-GPU tokens/second for one expert of the profiled model.
-        bandwidth: Estimated ``Bw(g, g')`` matrix, bytes/s.
+        bandwidth: Estimated ``Bw(g, g')`` as a
+            :class:`~repro.cluster.bandwidth.BandwidthModel`. A plain
+            dense matrix is also accepted at construction (hand-built
+            test profiles) and is wrapped on init.
         model: The model config the TPS figures were profiled for.
     """
 
     tps: np.ndarray
-    bandwidth: np.ndarray
+    bandwidth: BandwidthModel | np.ndarray
     model: MoEModelConfig
     _bps_cache: dict[tuple[int, ...], float] = field(default_factory=dict)
     _collectives: CollectiveCostModel | None = None
     _noise: float = 0.0
     _rng_state: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.bandwidth, BandwidthModel):
+            self.bandwidth = BandwidthModel.from_dense(
+                np.asarray(self.bandwidth, dtype=float)
+            )
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """The estimated fabric, for implicit (non-dense) queries."""
+        return self.bandwidth
 
     def tokens_per_second(self, gpu: int) -> float:
         if not 0 <= gpu < len(self.tps):
@@ -54,10 +75,10 @@ class ClusterProfile:
         return float(self.tps[gpu])
 
     def link_bandwidth(self, src: int, dst: int) -> float:
-        n = self.bandwidth.shape[0]
+        n = self.bandwidth.num_gpus
         if not (0 <= src < n and 0 <= dst < n):
             raise ProfilingError(f"no bandwidth profile for link {src}->{dst}")
-        return float(self.bandwidth[src, dst])
+        return self.bandwidth.link(src, dst)
 
     def allreduce_bps(self, group: Sequence[int]) -> float:
         """Profiled ``BPS`` for ``group``, measuring and caching on miss.
@@ -139,14 +160,37 @@ class Profiler:
             ]
         )
 
-    def profile_bandwidth(self) -> np.ndarray:
-        """Estimated ``Bw(g, g')`` matrix from timed point-to-point probes."""
+    def profile_bandwidth(self) -> BandwidthModel:
+        """Estimated ``Bw(g, g')`` from timed point-to-point probes.
+
+        Datacenter-scale homogeneous fabrics are probed per link *class* —
+        one local-copy, one intra-node and one inter-node measurement, in
+        that fixed order so the noise stream is reproducible — which keeps
+        the estimate exactly node-blocked and the probe count independent
+        of cluster size (4096 devices take three probes, not 16M).  At or
+        below :data:`~repro.config.HIERARCHICAL_AUTO_THRESHOLD` devices
+        the exhaustive per-pair sweep is retained: it is cheap there and
+        keeps small-scale noise streams identical to the reference
+        profiling path.  NIC-scaled fabrics are not class-separable and
+        always take the dense sweep.
+        """
+        truth = self._topology.bandwidth_model()
+        if truth.is_blocked and self._topology.num_gpus > HIERARCHICAL_AUTO_THRESHOLD:
+            local, intra, inter = truth.class_values
+            cfg = self._topology.config
+            return BandwidthModel.blocked(
+                cfg.num_nodes,
+                cfg.gpus_per_node,
+                self._measure(local),
+                self._measure(intra),
+                self._measure(inter),
+            )
         n = self._topology.num_gpus
         bw = np.empty((n, n))
         for src in range(n):
             for dst in range(n):
                 bw[src, dst] = self._measure(self._topology.bandwidth(src, dst))
-        return bw
+        return BandwidthModel.from_dense(bw)
 
     def profile(self, model: MoEModelConfig) -> ClusterProfile:
         """Full profile for ``model`` over this cluster.

@@ -4,6 +4,13 @@ The topology exposes the two environmental quantities the paper's cost
 models consume directly: the bandwidth matrix ``Bw(g, g')`` (Eq. 8) and the
 locality structure (intra-node NVLink vs inter-node InfiniBand) that makes
 the All-to-All model "topology-aware".
+
+Both fabric matrices are *implicit*: every entry is one of three class
+values (device-local, intra-node, inter-node), optionally modulated by
+per-GPU NIC scale factors, so scalar and group queries are answered by
+node arithmetic and a dense matrix is only materialized for the few
+consumers that ask for one (via :meth:`ClusterTopology.bandwidth_model`).
+A 4096-device topology therefore costs O(G) to build, not O(G^2).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.cluster.bandwidth import BandwidthModel
 from repro.cluster.device import Device
 from repro.config import ClusterConfig
 from repro.exceptions import TopologyError
@@ -49,33 +57,47 @@ class ClusterTopology:
             for node in range(config.num_nodes)
             for local in range(config.gpus_per_node)
         ]
-        self._bandwidth = self._build_bandwidth_matrix()
-        self._latency = self._build_latency_matrix()
+        self._bw_model: BandwidthModel | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _build_bandwidth_matrix(self) -> np.ndarray:
+    def _build_dense_bandwidth(self) -> np.ndarray:
+        """Explicit ``Bw`` matrix for NIC-scaled (non-blocked) clusters."""
         cfg = self._config
-        n = cfg.num_gpus
-        nodes = np.array([d.node for d in self._devices])
+        nodes = np.arange(cfg.num_gpus) // cfg.gpus_per_node
         same_node = nodes[:, None] == nodes[None, :]
         bw = np.where(same_node, cfg.intra_node_bandwidth, cfg.inter_node_bandwidth)
         bw = bw.astype(float)
-        if cfg.bandwidth_scales is not None:
-            # A point-to-point transfer is bottlenecked by the slower NIC.
-            scales = np.array([d.bandwidth_scale for d in self._devices])
-            bw *= np.minimum(scales[:, None], scales[None, :])
+        # A point-to-point transfer is bottlenecked by the slower NIC.
+        scales = np.array([d.bandwidth_scale for d in self._devices])
+        bw *= np.minimum(scales[:, None], scales[None, :])
         np.fill_diagonal(bw, self.LOCAL_COPY_BANDWIDTH)
-        return bw.reshape(n, n)
+        return bw
 
-    def _build_latency_matrix(self) -> np.ndarray:
-        cfg = self._config
-        nodes = np.array([d.node for d in self._devices])
-        same_node = nodes[:, None] == nodes[None, :]
-        lat = np.where(same_node, cfg.intra_node_latency, cfg.inter_node_latency)
-        np.fill_diagonal(lat, 0.0)
-        return lat.astype(float)
+    def bandwidth_model(self) -> BandwidthModel:
+        """Ground-truth fabric as a :class:`BandwidthModel` (cached).
+
+        Homogeneous clusters get the implicit node-blocked representation;
+        clusters with per-GPU ``bandwidth_scales`` fall back to wrapping
+        the explicit matrix (the min-of-endpoints bottleneck rule is not
+        separable into link classes).
+        """
+        if self._bw_model is None:
+            cfg = self._config
+            if cfg.bandwidth_scales is None:
+                self._bw_model = BandwidthModel.blocked(
+                    cfg.num_nodes,
+                    cfg.gpus_per_node,
+                    self.LOCAL_COPY_BANDWIDTH,
+                    cfg.intra_node_bandwidth,
+                    cfg.inter_node_bandwidth,
+                )
+            else:
+                self._bw_model = BandwidthModel.from_dense(
+                    self._build_dense_bandwidth()
+                )
+        return self._bw_model
 
     # ------------------------------------------------------------------
     # Accessors
@@ -111,23 +133,46 @@ class ClusterTopology:
         """Point-to-point bandwidth ``Bw(src, dst)`` in bytes/s."""
         self._check_gpu(src)
         self._check_gpu(dst)
-        return float(self._bandwidth[src, dst])
+        if src == dst:
+            return self.LOCAL_COPY_BANDWIDTH
+        cfg = self._config
+        if src // cfg.gpus_per_node == dst // cfg.gpus_per_node:
+            bw = cfg.intra_node_bandwidth
+        else:
+            bw = cfg.inter_node_bandwidth
+        if cfg.bandwidth_scales is not None:
+            bw *= min(
+                self._devices[src].bandwidth_scale,
+                self._devices[dst].bandwidth_scale,
+            )
+        return float(bw)
 
     def latency(self, src: int, dst: int) -> float:
         """One-way message latency in seconds."""
         self._check_gpu(src)
         self._check_gpu(dst)
-        return float(self._latency[src, dst])
+        if src == dst:
+            return 0.0
+        cfg = self._config
+        if src // cfg.gpus_per_node == dst // cfg.gpus_per_node:
+            return float(cfg.intra_node_latency)
+        return float(cfg.inter_node_latency)
 
     @property
     def bandwidth_matrix(self) -> np.ndarray:
-        """Copy of the full ``Bw(g, g')`` matrix (bytes/s)."""
-        return self._bandwidth.copy()
+        """Copy of the full ``Bw(g, g')`` matrix (bytes/s).
+
+        Materializes O(G^2) — reserved for consumers that need the dense
+        matrix (the ground-truth executor); planner paths should query
+        :meth:`bandwidth_model` instead.
+        """
+        return self.bandwidth_model().dense().copy()
 
     def gpus_on_node(self, node: int) -> tuple[int, ...]:
         if not 0 <= node < self.num_nodes:
             raise TopologyError(f"node {node} out of range [0, {self.num_nodes})")
-        return tuple(d.index for d in self._devices if d.node == node)
+        start = node * self._config.gpus_per_node
+        return tuple(range(start, start + self._config.gpus_per_node))
 
     def nodes_spanned(self, gpus: Iterable[int]) -> tuple[int, ...]:
         """Sorted node ids touched by ``gpus`` (dedup'd)."""
@@ -146,9 +191,34 @@ class ClusterTopology:
             self._check_gpu(g)
         if len(gpus) == 1:
             return self.LOCAL_COPY_BANDWIDTH
-        sub = self._bandwidth[np.ix_(gpus, gpus)]
-        off_diagonal = sub[~np.eye(len(gpus), dtype=bool)]
-        return float(off_diagonal.min())
+        return self.bandwidth_model().min_offdiag(np.asarray(gpus, dtype=np.int64))
+
+    def max_group_latency(self, gpus: Sequence[int]) -> float:
+        """Slowest pairwise one-way latency within a device group.
+
+        O(n) class logic: the worst hop is inter-node when the group spans
+        nodes, intra-node when two distinct devices share a node, and zero
+        for a single (possibly repeated) device.
+        """
+        gpus = np.asarray(list(gpus), dtype=np.int64)
+        if gpus.size == 0:
+            raise TopologyError("device group must be non-empty")
+        if gpus.min() < 0 or gpus.max() >= self.num_gpus:
+            raise TopologyError(
+                f"gpu out of range [0, {self.num_gpus}) in group"
+            )
+        devices = np.unique(gpus)
+        if devices.size < 2:
+            return 0.0
+        node_ids, node_counts = np.unique(
+            devices // self._config.gpus_per_node, return_counts=True
+        )
+        worst = 0.0
+        if (node_counts > 1).any():
+            worst = float(self._config.intra_node_latency)
+        if node_ids.size > 1:
+            worst = max(worst, float(self._config.inter_node_latency))
+        return worst
 
     def _check_gpu(self, gpu: int) -> None:
         if not 0 <= gpu < self.num_gpus:

@@ -365,6 +365,49 @@ BALANCE_METRICS = ("max", "variance")
 #: Scheduling trigger modes (Figure 6b ablation).
 SCHEDULER_MODES = ("dynamic", "static")
 
+#: Placement-search strategies understood by the scheduler.
+PLACEMENT_SEARCHES = ("auto", "flat", "hierarchical")
+
+#: ``placement_search="auto"`` switches to the hierarchical two-level
+#: search above this many devices. At or below it the flat sweep is both
+#: cheap and exhaustive, so existing small-cluster runs stay bit-identical.
+HIERARCHICAL_AUTO_THRESHOLD = 64
+
+#: An intra-node migration candidate short-circuits the hierarchical
+#: search (the cross-cluster sweep is never expanded) only when it
+#: improves the modelled step time by at least this fraction. Smaller
+#: intra-node wins still compete, but against the full candidate set —
+#: so small clusters, where per-move gains are marginal, keep flat-sweep
+#: decision quality.
+HIERARCHICAL_ESCALATION_MARGIN = 0.05
+
+#: Above :data:`HIERARCHICAL_AUTO_THRESHOLD` devices the hierarchical
+#: search exactly prices only the (source replica, destination) pairs
+#: covering roughly this many migration candidates per batch, ranked by
+#: an O(1)-per-pair load proxy; the rest are pruned. Pairs whose move
+#: contracts the expert's node span are always priced (a sync win the
+#: load proxy cannot see), and every partner of a surviving pair keeps
+#: its exact evaluation. Exact scoring is O(G) per candidate, so this
+#: bounds a sweep's scoring cost at datacenter scale instead of letting
+#: it grow with the candidate pool.
+HIERARCHICAL_SCORE_TOP_K = 16
+
+
+def resolve_placement_search(num_gpus: int, search: str = "auto") -> str:
+    """Resolve a placement-search setting to ``"flat"`` or ``"hierarchical"``.
+
+    ``"auto"`` picks hierarchical only above
+    :data:`HIERARCHICAL_AUTO_THRESHOLD` devices; explicit settings pass
+    through unchanged.
+    """
+    _require(
+        search in PLACEMENT_SEARCHES,
+        f"placement_search must be one of {PLACEMENT_SEARCHES}, got {search!r}",
+    )
+    if search != "auto":
+        return search
+    return "hierarchical" if num_gpus > HIERARCHICAL_AUTO_THRESHOLD else "flat"
+
 
 @dataclass(frozen=True)
 class SchedulerConfig:
@@ -404,6 +447,13 @@ class SchedulerConfig:
             restores the full-recompute reference evaluator in both the
             Policy Maker and the Migrate planner — the audited baseline
             ``python -m repro perf`` benchmarks the delta path against.
+        placement_search: ``"auto"`` (default — flat at or below
+            :data:`HIERARCHICAL_AUTO_THRESHOLD` devices, hierarchical
+            above), ``"flat"`` (every candidate scored in one sweep) or
+            ``"hierarchical"`` (two-level: candidates in the hot expert's
+            node group first, cross-node escalation only when no
+            intra-node candidate beats the trigger threshold). The
+            hierarchical search requires ``delta_evaluation``.
     """
 
     balance_threshold: float = 1.15
@@ -418,6 +468,7 @@ class SchedulerConfig:
     speed_aware_balance: bool = False
     min_replicas: int = 1
     delta_evaluation: bool = True
+    placement_search: str = "auto"
 
     def __post_init__(self) -> None:
         _require(self.balance_threshold >= 1.0, "balance_threshold must be >= 1")
@@ -435,6 +486,11 @@ class SchedulerConfig:
         if self.slots_per_gpu is not None:
             _require(self.slots_per_gpu >= 1, "slots_per_gpu must be >= 1")
         _require(self.min_replicas >= 1, "min_replicas must be >= 1")
+        _require(
+            self.placement_search in PLACEMENT_SEARCHES,
+            f"placement_search must be one of {PLACEMENT_SEARCHES}, "
+            f"got {self.placement_search!r}",
+        )
 
     def replace(self, **changes: object) -> "SchedulerConfig":
         return dataclasses.replace(self, **changes)

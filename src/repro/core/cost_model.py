@@ -159,16 +159,19 @@ class MoECostModel:
         """
         tps = self._profile.tps
         if self._cluster_state is not None:
-            tps = tps * self._cluster_state.speed_factors()
+            tps = tps * self._cluster_state.speed_view()
         if self._inference:
             tps = tps / FORWARD_FRACTION
         return tps
 
     def live_mask(self) -> np.ndarray:
-        """Boolean liveness vector (all-true when no state is attached)."""
+        """Boolean liveness vector (all-true when no state is attached).
+
+        Backed by the state's cached read-only view — treat as
+        immutable."""
         if self._cluster_state is None:
             return np.ones(self._profile.tps.size, dtype=bool)
-        return self._cluster_state.live_mask()
+        return self._cluster_state.live_view()
 
     # ------------------------------------------------------------------
     # Individual terms
@@ -202,7 +205,9 @@ class MoECostModel:
         # Bytes entering each destination from each source, all experts.
         flow = routes.sum(axis=0) * self._model.token_bytes  # (src, dst)
         np.fill_diagonal(flow, 0.0)  # local tokens never cross a link
-        per_dst = (flow / self._profile.bandwidth).sum(axis=0)
+        # Route tensors are (E, G, G) and only exist at engine-feasible
+        # cluster sizes, so the dense (lazily cached) matrix is fine here.
+        per_dst = (flow / self._profile.bandwidth_model().dense()).sum(axis=0)
         return self.a2a_passes * per_dst
 
     def sync_times(self, placement: Placement) -> np.ndarray:

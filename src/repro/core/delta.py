@@ -75,9 +75,9 @@ class DeltaStepCost:
     def __init__(self, cost_model: MoECostModel, audit: bool = False) -> None:
         self._cost_model = cost_model
         self._audit = audit
-        profile = cost_model.profile
-        self._inv_bw = 1.0 / profile.bandwidth
-        self._inv_bw_diag = np.ascontiguousarray(np.diagonal(self._inv_bw))
+        # Implicit fabric: the All-to-All aggregation runs through the
+        # node-blocked model in O(G) per row, no G x G inverse matrix.
+        self._bw = cost_model.profile.bandwidth_model()
         # Instance-level factors so inference-shaped cost models (two
         # A2A passes, no gradient sync) price deltas consistently.
         self._a2a_factor = cost_model.a2a_passes * cost_model.model.token_bytes
@@ -158,7 +158,7 @@ class DeltaStepCost:
         arrivals = local + spill.sum(axis=-1)[..., None] * weights
         # Off-diagonal flow of the spill outer product: destination d
         # receives spill[s] * weights[d] tokens from every source s != d.
-        inflow = spill @ self._inv_bw - spill * self._inv_bw_diag
+        inflow = self._bw.inv_offdiag_apply(spill)
         a2a = self._a2a_factor * weights * inflow
         return arrivals, a2a
 
@@ -195,6 +195,11 @@ class DeltaStepCost:
         as a delta against this base.
         """
         demand = np.ascontiguousarray(assignment, dtype=float)
+        if demand is assignment:
+            # Snapshot, never alias: the incremental path below compares
+            # the next rebase's assignment against this one, which must
+            # see the values as passed even if the caller mutates theirs.
+            demand = demand.copy()
         if demand.ndim != 2 or demand.shape != (
             placement.num_experts,
             placement.num_gpus,
@@ -206,12 +211,62 @@ class DeltaStepCost:
         if (demand < 0).any():
             raise RoutingError("token counts must be non-negative")
         counts = placement.counts
-        totals = demand.sum(axis=1)
-        arrivals, a2a = self._route_stats(demand, totals, counts)
         num_experts, num_gpus = demand.shape
-        sync = np.zeros((num_experts, num_gpus))
-        for expert in range(num_experts):
-            sync[expert] = self._sync_row(counts[expert])
+        # Route and sync rows are separable per expert, so a re-rebase
+        # against the SAME assignment (the planners rebase once per
+        # candidate move within a scheduling round) recomputes only the
+        # rows whose counts changed and patches the per-GPU aggregates by
+        # those rows' deltas — O(changed experts * G) total, independent
+        # of E.  Unchanged rows' sync groups are already in the profile's
+        # BPS cache, so the lazy-probe order (ascending expert over
+        # changed rows) is identical to the reference path's full
+        # ascending pass.
+        prev_counts, prev_sync = self._counts, self._sync
+        rows_cached = (
+            prev_sync is not None
+            and prev_counts is not None
+            and prev_counts.shape == counts.shape
+        )
+        if (
+            rows_cached
+            and self._arrivals is not None
+            and np.array_equal(self._assignment, demand)
+        ):
+            totals = self._totals
+            changed = np.flatnonzero((counts != prev_counts).any(axis=1))
+            arrivals, a2a, sync = self._arrivals, self._a2a, prev_sync
+            if changed.size:
+                new_arr, new_a2a = self._route_stats(
+                    demand[changed], totals[changed], counts[changed]
+                )
+                self._base_tokens += new_arr.sum(axis=0) - arrivals[
+                    changed
+                ].sum(axis=0)
+                self._base_a2a += new_a2a.sum(axis=0) - a2a[changed].sum(
+                    axis=0
+                )
+                arrivals[changed] = new_arr
+                a2a[changed] = new_a2a
+                for expert in changed:
+                    row = self._sync_row(counts[expert])
+                    self._base_sync += row - sync[expert]
+                    sync[expert] = row
+        else:
+            totals = demand.sum(axis=1)
+            arrivals, a2a = self._route_stats(demand, totals, counts)
+            if rows_cached:
+                sync = prev_sync
+                for expert in np.flatnonzero(
+                    (counts != prev_counts).any(axis=1)
+                ):
+                    sync[expert] = self._sync_row(counts[expert])
+            else:
+                sync = np.zeros((num_experts, num_gpus))
+                for expert in range(num_experts):
+                    sync[expert] = self._sync_row(counts[expert])
+            self._base_tokens = arrivals.sum(axis=0)
+            self._base_a2a = a2a.sum(axis=0)
+            self._base_sync = sync.sum(axis=0)
         self._placement = placement
         self._placement_version = placement.version
         self._state_version = self._cost_model.state_version
@@ -222,9 +277,6 @@ class DeltaStepCost:
         self._arrivals = arrivals
         self._a2a = a2a
         self._sync = sync
-        self._base_tokens = arrivals.sum(axis=0)
-        self._base_a2a = a2a.sum(axis=0)
-        self._base_sync = sync.sum(axis=0)
         self._base_time = float(
             self._totals_to_time(
                 self._base_tokens, self._base_a2a, self._base_sync

@@ -28,6 +28,12 @@ import numpy as np
 
 from repro.cluster.profiler import ClusterProfile
 from repro.cluster.topology import ClusterTopology
+from repro.config import (
+    HIERARCHICAL_AUTO_THRESHOLD,
+    HIERARCHICAL_ESCALATION_MARGIN,
+    HIERARCHICAL_SCORE_TOP_K,
+    resolve_placement_search,
+)
 from repro.core.cost_model import MemoizedStepCost, MoECostModel
 from repro.core.delta import DeltaStepCost
 from repro.core.placement import Placement
@@ -59,6 +65,20 @@ class MigrationPlanner:
             exact configuration the Policy Maker just scored) go through
             the shared cache under the ``"migration"`` phase instead of
             re-routing and re-pricing from scratch.
+        placement_search: ``"flat"`` (default — every source is paired
+            with the globally least-loaded devices and scored in one
+            sweep), ``"hierarchical"`` (each source is paired with the
+            least-loaded devices of its *own node* first; the full
+            cross-cluster sweep is expanded only when no intra-node
+            candidate improves) or ``"auto"`` (hierarchical above
+            :data:`~repro.config.HIERARCHICAL_AUTO_THRESHOLD` devices).
+            Hierarchical requires the delta path.
+        delta: Optional shared :class:`~repro.core.delta.DeltaStepCost`.
+            The Scheduler passes the Policy Maker's evaluator so the two
+            planners rebase the same per-round base once between them —
+            the migration pass then re-prices only the experts the
+            policy's actions touched. Ignored when ``use_delta`` is
+            ``False``.
     """
 
     def __init__(
@@ -70,6 +90,8 @@ class MigrationPlanner:
         min_replicas: int = 1,
         use_delta: bool = True,
         memo: MemoizedStepCost | None = None,
+        placement_search: str = "flat",
+        delta: DeltaStepCost | None = None,
     ) -> None:
         if max_moves < 0:
             raise SchedulingError("max_moves must be >= 0")
@@ -83,9 +105,25 @@ class MigrationPlanner:
         self._max_candidates = max_candidates
         self._min_replicas = min_replicas
         self._use_delta = use_delta
-        self._delta = DeltaStepCost(cost_model) if use_delta else None
+        if not use_delta:
+            self._delta = None
+        elif delta is not None:
+            self._delta = delta
+        else:
+            self._delta = DeltaStepCost(cost_model)
         self._router = FlexibleTokenRouter()
         self._memo = memo
+        resolved = resolve_placement_search(
+            topology.num_gpus, placement_search
+        )
+        self._hierarchical = resolved == "hierarchical" and use_delta
+        self._gpus_per_node = topology.config.gpus_per_node
+        # Coarse-to-fine scoring only pays off where exact scoring is
+        # expensive; small fabrics keep pricing every candidate exactly.
+        self._proxy_prune = (
+            self._hierarchical
+            and topology.num_gpus > HIERARCHICAL_AUTO_THRESHOLD
+        )
 
     @property
     def delta(self) -> DeltaStepCost | None:
@@ -151,7 +189,7 @@ class MigrationPlanner:
         gpu_loads = placement.counts.T.astype(float) @ per_replica
         state = self._cost_model.cluster_state
         if state is not None:
-            gpu_loads = gpu_loads / state.speed_factors()
+            gpu_loads = gpu_loads / state.speed_view()
         return gpu_loads
 
     def _candidate_sources(
@@ -161,36 +199,74 @@ class MigrationPlanner:
         gpu_loads: np.ndarray,
     ) -> list[tuple[int, int]]:
         """(expert, gpu) pairs worth trying to move, most promising first."""
-        candidates: list[tuple[float, int, int]] = []
-
-        # Source kind 1: replicas of sync-scattered experts.
-        for expert, group in placement.replica_groups().items():
-            if len(group) <= 1:
-                continue
-            if len(self._topology.nodes_spanned(group)) <= 1:
-                continue
-            for gpu in group:
-                candidates.append((per_replica[expert], expert, gpu))
+        # Source kind 1: replicas of sync-scattered experts. Vectorized
+        # over the count matrix — an expert is scattered iff its member
+        # devices' (node-major) node ids are not all equal, and the
+        # scattered (expert, gpu) pairs come out of one nonzero scan
+        # instead of a Python loop over every replica group.
+        member = placement.counts_view > 0
+        node_ids = np.arange(member.shape[1]) // self._gpus_per_node
+        min_node = np.where(member, node_ids[None, :], member.shape[1]).min(axis=1)
+        max_node = np.where(member, node_ids[None, :], -1).max(axis=1)
+        scattered = np.flatnonzero(max_node > min_node)
+        rows, gpus = np.nonzero(member[scattered])
+        experts = scattered[rows]
 
         # Source kind 2: replicas living on the most loaded GPUs.
+        extra: list[tuple[int, int]] = []
         for gpu in np.argsort(-gpu_loads)[:2]:
             for expert in placement.experts_on(int(gpu)):
-                candidates.append((per_replica[expert], expert, int(gpu)))
+                extra.append((expert, int(gpu)))
+        if extra:
+            experts = np.concatenate([experts, [e for e, _ in extra]])
+            gpus = np.concatenate([gpus, [g for _, g in extra]])
 
-        candidates.sort(key=lambda c: -c[0])
+        # Stable sort by load keeps the legacy tie order: scattered pairs
+        # (expert- then gpu-ascending) ahead of the hot-GPU pairs.
+        order = np.argsort(-per_replica[experts], kind="stable")
         seen: set[tuple[int, int]] = set()
         unique: list[tuple[int, int]] = []
-        for _, expert, gpu in candidates:
-            key = (expert, gpu)
+        for i in order:
+            key = (int(experts[i]), int(gpus[i]))
             if key not in seen:
                 seen.add(key)
                 unique.append(key)
-        return unique[: self._max_candidates]
+                if len(unique) == self._max_candidates:
+                    break
+        return unique
 
     def _candidate_targets(self, gpu_loads: np.ndarray) -> list[int]:
         """Live GPUs worth moving a replica to: least (time-)loaded first."""
         live = self._cost_model.live_mask()
         return [int(g) for g in np.argsort(gpu_loads) if live[g]][:4]
+
+    def _node_targets(
+        self,
+        placement: Placement,
+        gpu_loads: np.ndarray,
+        expert: int,
+        src: int,
+    ) -> list[int]:
+        """Least-loaded live GPUs of ``expert``'s home node group.
+
+        The hierarchical sweep's intra-node candidate pool.  The home
+        node is where the expert keeps most of its replicas, so for a
+        sync-scattered source the pool proposes exactly the exchanges
+        that pull the stray replica into the group's node — the move that
+        shrinks the group's node span and with it the AllReduce cost
+        (same-node shuffles leave the span, and hence the sync term,
+        untouched).  An O(P log P) scan of one node instead of the
+        O(G log G) cluster-wide sort, and a pool of two devices instead
+        of four — the point of the intra-node phase is a small, usually
+        sufficient batch, with the cross-cluster sweep as the fallback.
+        """
+        per_node = self._gpus_per_node
+        replicas = placement.counts_view[expert]
+        node_counts = replicas.reshape(-1, per_node).sum(axis=1)
+        lo = int(node_counts.argmax()) * per_node
+        live = self._cost_model.live_mask()[lo : lo + per_node]
+        order = np.argsort(gpu_loads[lo : lo + per_node])
+        return [int(lo + g) for g in order if live[g] and lo + g != src][:2]
 
     def _evaluate_exchange(
         self, assignment: np.ndarray, placement: Placement, action: Migrate
@@ -220,10 +296,19 @@ class MigrationPlanner:
             or len(placement.gpus_of(action.expert_b)) < self._min_replicas
         )
 
-    def _enumerate_exchanges(
-        self, assignment: np.ndarray, placement: Placement
+    def _expand_exchanges(
+        self,
+        placement: Placement,
+        expansions: list[tuple[int, int, list[int]]],
     ) -> list[Migrate]:
         """Candidate exchanges in search order, pre-validated.
+
+        ``expansions`` holds ``(expert, source gpu, destination pool)``
+        triples — the flat sweep pairs every source with the global
+        least-loaded pool, the hierarchical intra-node phase with each
+        source's node-local pool.  Expansion is lazy by construction: the
+        cross-cluster candidate list is never materialized unless this
+        method is called with it.
 
         Validity (both cells occupied, distinct experts/GPUs) is guaranteed
         by construction; the distinct-device replication floor is checked
@@ -233,12 +318,7 @@ class MigrationPlanner:
         counts = placement.counts_view
         distinct = (counts > 0).sum(axis=1)
         actions: list[Migrate] = []
-        per_replica = self._per_replica_loads(assignment, placement)
-        gpu_loads = self._weighted_gpu_loads(per_replica, placement)
-        targets = self._candidate_targets(gpu_loads)
-        for expert, src in self._candidate_sources(
-            per_replica, placement, gpu_loads
-        ):
+        for expert, src, targets in expansions:
             for dst in targets:
                 if dst == src:
                     continue
@@ -269,25 +349,160 @@ class MigrationPlanner:
                     )
         return actions
 
+    def _prune_by_proxy(
+        self,
+        placement: Placement,
+        actions: list[Migrate],
+        per_replica: np.ndarray,
+        gpu_loads: np.ndarray,
+    ) -> list[Migrate]:
+        """Coarse level of the two-level scoring: O(1) proxy per pair.
+
+        Exact pricing of an exchange is O(G) (full per-GPU re-aggregation
+        through the delta evaluator), so at datacenter scale the
+        hierarchical search first ranks (source replica, destination)
+        pairs by the post-move load of the two touched devices — the
+        dominant cost term of a migration — and prices only the pairs
+        covering the
+        :data:`~repro.config.HIERARCHICAL_SCORE_TOP_K` most promising
+        candidates exactly.  Two effects the load proxy cannot see keep
+        their exact evaluation regardless of rank: the partner choice
+        (which co-resident gets displaced is decided by sync-group and
+        All-to-All effects, so every partner of a surviving pair is
+        priced), and node-span shrinkage (a pair whose move contracts the
+        expert's replica group onto fewer nodes is a synchronization win
+        invisible to device loads, so such pairs are always priced).
+        Survivors keep their original search order.
+        """
+        if (
+            not self._proxy_prune
+            or len(actions) <= HIERARCHICAL_SCORE_TOP_K
+        ):
+            return actions
+        groups: dict[tuple[int, int, int], list[int]] = {}
+        for i, action in enumerate(actions):
+            key = (action.expert_a, action.gpu_a, action.gpu_b)
+            groups.setdefault(key, []).append(i)
+        keys = np.array(list(groups))
+        load = per_replica[keys[:, 0]]
+        proxy = np.maximum(
+            gpu_loads[keys[:, 1]] - load, gpu_loads[keys[:, 2]] + load
+        )
+        per_node = self._gpus_per_node
+        counts = placement.counts_view
+        node_replicas = counts.reshape(
+            counts.shape[0], counts.shape[1] // per_node, per_node
+        ).sum(axis=2)
+        experts = keys[:, 0]
+        span_delta = (
+            node_replicas[experts, keys[:, 2] // per_node] == 0
+        ).astype(int) - (
+            node_replicas[experts, keys[:, 1] // per_node] == 1
+        ).astype(int)
+        chosen: list[int] = []
+        budget = 0
+        for rank in np.argsort(proxy, kind="stable"):
+            if budget >= HIERARCHICAL_SCORE_TOP_K and span_delta[rank] >= 0:
+                continue
+            members = groups[tuple(keys[rank])]
+            chosen.extend(members)
+            budget += len(members)
+        chosen.sort()
+        return [actions[i] for i in chosen]
+
+    def _score_exchanges(
+        self,
+        placement: Placement,
+        actions: list[Migrate],
+        baseline: float,
+    ) -> tuple[Migrate, float] | None:
+        """Delta-score one batch of exchanges.
+
+        Returns the best strict improvement over ``baseline`` and its
+        modelled step time, or ``None`` when nothing in the batch beats
+        it.
+        """
+        if not actions:
+            return None
+        pairs = np.array(
+            [(a.expert_a, a.gpu_a, a.expert_b, a.gpu_b) for a in actions]
+        )
+        times = self._delta.exchange_candidate_times(placement, pairs)
+        best_action: Migrate | None = None
+        best_time = baseline
+        for action, time in zip(actions, times):
+            if time < best_time - 1e-12:
+                best_time = float(time)
+                best_action = action
+        if best_action is None:
+            return None
+        return best_action, best_time
+
     def _best_move(
         self, assignment: np.ndarray, placement: Placement
     ) -> Migrate | None:
         if self._delta is not None:
             baseline = self._delta.rebase(assignment, placement)
-            actions = self._enumerate_exchanges(assignment, placement)
-            if not actions:
-                return None
-            pairs = np.array(
-                [(a.expert_a, a.gpu_a, a.expert_b, a.gpu_b) for a in actions]
+            per_replica = self._per_replica_loads(assignment, placement)
+            gpu_loads = self._weighted_gpu_loads(per_replica, placement)
+            sources = self._candidate_sources(
+                per_replica, placement, gpu_loads
             )
-            times = self._delta.exchange_candidate_times(placement, pairs)
-            best_action: Migrate | None = None
-            best_time = baseline
-            for action, time in zip(actions, times):
-                if time < best_time - 1e-12:
-                    best_time = float(time)
-                    best_action = action
-            return best_action
+            intra: tuple[Migrate, float] | None = None
+            if self._hierarchical:
+                # Two-level sweep: every source tries the least-loaded
+                # devices of its own node first — intra-node exchanges
+                # consolidate sync groups without touching the inter-node
+                # fabric.  An intra-node candidate that clears the
+                # escalation margin ends the search; the cross-cluster
+                # sweep (the flat search's exact candidate set) is
+                # expanded only otherwise, with the intra-node best still
+                # in the running — escalation can never miss a move the
+                # flat sweep finds, nor drop a better local one.
+                intra = self._score_exchanges(
+                    placement,
+                    self._prune_by_proxy(
+                        placement,
+                        self._expand_exchanges(
+                            placement,
+                            [
+                                (
+                                    expert,
+                                    src,
+                                    self._node_targets(
+                                        placement, gpu_loads, expert, src
+                                    ),
+                                )
+                                for expert, src in sources
+                            ],
+                        ),
+                        per_replica,
+                        gpu_loads,
+                    ),
+                    baseline,
+                )
+                if intra is not None and (
+                    baseline - intra[1]
+                    >= HIERARCHICAL_ESCALATION_MARGIN * baseline
+                ):
+                    return intra[0]
+            targets = self._candidate_targets(gpu_loads)
+            best = self._score_exchanges(
+                placement,
+                self._prune_by_proxy(
+                    placement,
+                    self._expand_exchanges(
+                        placement,
+                        [(expert, src, targets) for expert, src in sources],
+                    ),
+                    per_replica,
+                    gpu_loads,
+                ),
+                intra[1] if intra is not None else baseline,
+            )
+            if best is not None:
+                return best[0]
+            return intra[0] if intra is not None else None
         baseline = self.step_time(assignment, placement)
         best_action = None
         best_time = baseline

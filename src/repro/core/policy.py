@@ -36,15 +36,20 @@ seeded scenarios by ``tests/test_policy_delta_equivalence.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.config import resolve_placement_search
 from repro.core.cost_model import MemoizedStepCost, MoECostModel
 from repro.core.delta import DeltaStepCost
 from repro.core.placement import Placement
 from repro.core.primitives import Expand, PlacementAction, Shrink
 from repro.core.router import FlexibleTokenRouter
 from repro.exceptions import PlacementError, SchedulingError
+
+if TYPE_CHECKING:
+    from repro.cluster.topology import ClusterTopology
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,15 @@ class PolicyMaker:
         use_delta: Score candidates incrementally through
             :class:`~repro.core.delta.DeltaStepCost` (default). ``False``
             restores the full-recompute reference path.
+        topology: Cluster topology, required for the hierarchical search's
+            node partition. Optional — without it the search is flat.
+        placement_search: ``"flat"`` (default — every shrink GPU of a pair
+            scored in one sweep), ``"hierarchical"`` (score candidates in
+            the hot expert's node group first, escalating to the cross-node
+            remainder only when no intra-node candidate beats ``t0``), or
+            ``"auto"`` (hierarchical above
+            :data:`~repro.config.HIERARCHICAL_AUTO_THRESHOLD` devices).
+            Hierarchical needs ``topology`` and the delta path.
     """
 
     def __init__(
@@ -88,6 +102,8 @@ class PolicyMaker:
         shrink_candidates: int = 2,
         min_replicas: int = 1,
         use_delta: bool = True,
+        topology: "ClusterTopology | None" = None,
+        placement_search: str = "flat",
     ) -> None:
         if adjustment_horizon < 0:
             raise SchedulingError("adjustment_horizon must be >= 0")
@@ -95,6 +111,10 @@ class PolicyMaker:
             raise SchedulingError("candidate counts must be >= 1")
         if min_replicas < 1:
             raise SchedulingError("min_replicas must be >= 1")
+        if placement_search not in ("auto", "flat", "hierarchical"):
+            raise SchedulingError(
+                f"unknown placement_search {placement_search!r}"
+            )
         self._cost_model = cost_model
         self._router = router or FlexibleTokenRouter()
         self._memo = MemoizedStepCost(cost_model, self._router)
@@ -104,6 +124,18 @@ class PolicyMaker:
         self._expand_candidates = expand_candidates
         self._shrink_candidates = shrink_candidates
         self._min_replicas = min_replicas
+        num_gpus = int(np.asarray(cost_model.profile.tps).shape[0])
+        if placement_search == "auto":
+            placement_search = resolve_placement_search(num_gpus)
+        self._hierarchical = (
+            placement_search == "hierarchical"
+            and topology is not None
+            and use_delta
+        )
+        # Devices are node-major, so gpu // gpus_per_node is its node id.
+        self._gpus_per_node = (
+            topology.config.gpus_per_node if topology is not None else 1
+        )
 
     @property
     def cost_model(self) -> MoECostModel:
@@ -154,10 +186,15 @@ class PolicyMaker:
         caps = expert_loads / replicas
 
         order_desc = np.argsort(-caps, kind="stable")
+        # Ascending load order is shared by every _find_shrink_candidates
+        # call this round; computing it per sweep was O(E log E) each.
+        order_asc = np.argsort(caps, kind="stable")
         best: PolicyDecision | None = None
         for e0 in order_desc[: self._expand_candidates]:
             e0 = int(e0)
-            shrinkable = self._find_shrink_candidates(caps, replicas, exclude=e0)
+            shrinkable = self._find_shrink_candidates(
+                order_asc, replicas, exclude=e0
+            )
             for e1 in shrinkable[: self._shrink_candidates]:
                 if self._use_delta:
                     decision = self._sweep_pair(placement, e0, e1, t0)
@@ -181,15 +218,15 @@ class PolicyMaker:
     # Internals
     # ------------------------------------------------------------------
     def _find_shrink_candidates(
-        self, caps: np.ndarray, replicas: np.ndarray, exclude: int
+        self, order_asc: np.ndarray, replicas: np.ndarray, exclude: int
     ) -> list[int]:
-        """Experts shrinkable above the replication floor, sorted by
-        ascending per-vExpert load (the floor is 1 in the paper's setting,
-        2 in elastic runs so failures never orphan an expert)."""
-        order = np.argsort(caps, kind="stable")
+        """Experts shrinkable above the replication floor, in the given
+        ascending per-vExpert-load order (computed once per round by
+        :meth:`make_plan`; the floor is 1 in the paper's setting, 2 in
+        elastic runs so failures never orphan an expert)."""
         return [
             int(e)
-            for e in order
+            for e in order_asc
             if replicas[e] > self._min_replicas and int(e) != exclude
         ]
 
@@ -201,6 +238,15 @@ class PolicyMaker:
         Candidate enumeration order, validity rules and tie-breaking are
         identical to :meth:`_best_pair`; only the evaluation is
         incremental (no placement copies, no full re-route).
+
+        Hierarchical mode partitions the shrink GPUs into those on nodes
+        already hosting the hot expert ``e0`` (where Expand packs or rides
+        NVLink and the freed capacity lands next to the overload) and the
+        cross-node remainder, scoring the intra-node subset first and
+        escalating to the remainder only when no intra-node candidate
+        beats ``t0`` — so escalation can never skip a viable intra-node
+        candidate, and at datacenter scale most sweeps price a handful of
+        GPUs instead of every replica of ``e1``.
         """
         counts1 = placement.counts_view[e1]
         holders1 = np.flatnonzero(counts1)
@@ -212,6 +258,29 @@ class PolicyMaker:
         gpus = holders1[distinct_after >= self._min_replicas]
         if gpus.size == 0:
             return None
+        if self._hierarchical:
+            e0_nodes = np.unique(
+                np.flatnonzero(placement.counts_view[e0]) // self._gpus_per_node
+            )
+            intra = np.isin(gpus // self._gpus_per_node, e0_nodes)
+            if intra.any() and not intra.all():
+                decision = self._score_pair_gpus(
+                    placement, e0, e1, t0, gpus[intra]
+                )
+                if decision is not None:
+                    return decision
+                gpus = gpus[~intra]
+        return self._score_pair_gpus(placement, e0, e1, t0, gpus)
+
+    def _score_pair_gpus(
+        self,
+        placement: Placement,
+        e0: int,
+        e1: int,
+        t0: float,
+        gpus: np.ndarray,
+    ) -> PolicyDecision | None:
+        """Score one batch of shrink GPUs for (Shrink e1, Expand e0)."""
         times = self._delta.pair_candidate_times(placement, e0, e1, gpus)
         sources, adjustments = self._expand_sources_batch(placement, e0, gpus)
         effective = times + self._amortized_vec(adjustments)
@@ -245,7 +314,9 @@ class PolicyMaker:
         """
         counts = placement.counts_view[expert]
         holders = np.flatnonzero(counts)
-        bw = self._cost_model.profile.bandwidth[np.ix_(holders, targets)]
+        bw = self._cost_model.profile.bandwidth_model().submatrix(
+            holders, targets
+        )
         best = np.argmax(bw, axis=0)
         sources = holders[best]
         state_bytes = self._cost_model.model.expert_state_bytes

@@ -97,6 +97,11 @@ class Scheduler:
             min_replicas=config.min_replicas,
             use_delta=config.delta_evaluation,
             memo=policy.memo,
+            placement_search=config.placement_search,
+            # Share the policy's evaluator: the migrate pass then rebases
+            # incrementally from the round the policy just priced instead
+            # of rebuilding the whole base a second time per step.
+            delta=policy.delta,
         )
         self._history: list[SchedulingOutcome] = []
 

@@ -154,7 +154,7 @@ class StepExecutor:
         """Ground-truth per-GPU TPS under the current dynamic speeds."""
         if self._cluster_state is None:
             return self._tps
-        return self._tps * self._cluster_state.speed_factors()
+        return self._tps * self._cluster_state.speed_view()
 
     def _jittered(self, value: float | np.ndarray) -> float | np.ndarray:
         if self._jitter == 0:
@@ -175,7 +175,8 @@ class StepExecutor:
         """Measured seconds of ONE All-to-All pass for a route tensor."""
         flow = np.asarray(routes, dtype=float).sum(axis=0) * self._model.token_bytes
         np.fill_diagonal(flow, 0.0)
-        per_dst = (flow / self._topology.bandwidth_matrix).sum(axis=0)
+        # Cached read-only dense matrix: no O(G^2) copy per A2A pass.
+        per_dst = (flow / self._topology.bandwidth_model().dense()).sum(axis=0)
         return float(self._jittered(per_dst.max()) if per_dst.size else 0.0)
 
     def real_allreduce_time(self, nbytes: float, group: tuple[int, ...]) -> float:
@@ -433,7 +434,7 @@ class PipelinedStepExecutor:
         dense_tps = self._dense_tps
         state = self._executor.cluster_state
         if state is not None:
-            dense_tps = dense_tps * state.speed_factors()
+            dense_tps = dense_tps * state.speed_view()
         per_gpu = np.asarray(source_tokens, dtype=float) / dense_tps
         if self._executor.inference:
             # Dense figures are calibrated forward+backward too; serving

@@ -33,7 +33,7 @@ from repro.cluster.events import (
     ClusterEvent,
     ClusterState,
     ElasticitySchedule,
-    redistribute_assignment,
+    redistribute_assignments,
 )
 from repro.cluster.groups import CommunicatorGroupCache
 from repro.cluster.profiler import ClusterProfile
@@ -151,6 +151,8 @@ class LayerPipeline:
             self._cost_model,
             min_replicas=config.min_replicas,
             use_delta=config.delta_evaluation,
+            topology=topology,
+            placement_search=config.placement_search,
         )
         self._scheduler = Scheduler(
             self._target, policy, config, topology, trigger=trigger
@@ -1062,17 +1064,14 @@ class MultiLayerFlexMoEEngine:
             self.apply_elasticity(step_index)
         state = self._cluster_state
         if state is not None:
-            live = state.live_mask()
+            live = state.live_view()
             if not live.all():
-                assignments = np.stack(
-                    [redistribute_assignment(a, live) for a in assignments]
-                )
+                # One vectorized re-shard across the whole layer stack
+                # instead of a Python call per layer.
+                assignments = redistribute_assignments(assignments, live)
                 if scheduling_assignments is not None:
-                    scheduling_assignments = np.stack(
-                        [
-                            redistribute_assignment(a, live)
-                            for a in scheduling_assignments
-                        ]
+                    scheduling_assignments = redistribute_assignments(
+                        scheduling_assignments, live
                     )
 
         observed = (

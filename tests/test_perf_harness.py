@@ -22,6 +22,14 @@ def test_planner_benchmark_reports_equivalence_and_counters():
     # The memo's hit/miss accounting is surfaced for bench reporting.
     assert result["memo"]["misses"] > 0
     assert set(result["delta"]) >= {"rebases", "evaluations", "fallbacks"}
+    # The untimed allocation pass reports the replay's memory columns.
+    allocation = result["allocation"]
+    assert allocation["tracemalloc_peak_kb"] > 0
+    assert allocation["tracemalloc_peak_kb"] >= (
+        allocation["tracemalloc_current_kb"]
+    )
+    assert allocation["live_blocks_per_step"] > 0
+    assert allocation["peak_rss_kb"] > 0
 
 
 def test_pipeline_overhead_benchmark_simulations_match():
